@@ -1,0 +1,43 @@
+//! Ablation: unified scheduling+binding vs the classical separated flow, and
+//! vs the modulo-scheduling baseline.
+use criterion::{criterion_group, criterion_main, Criterion};
+use hls::designs;
+use hls::opt::linearize::prepare_innermost_loop;
+use hls::sched::{schedule_separated, Scheduler, SchedulerConfig};
+use hls::tech::{ClockConstraint, TechLibrary};
+
+fn bench(c: &mut Criterion) {
+    let mut cdfg = designs::paper_example1_cdfg().expect("elaborate");
+    let body = prepare_innermost_loop(&mut cdfg).expect("linearize");
+    let lib = TechLibrary::artisan_90nm_typical();
+    let clock = ClockConstraint::from_period_ps(1600.0);
+
+    let unified = Scheduler::new(&body, &lib, SchedulerConfig::sequential(clock, 1, 3))
+        .run()
+        .expect("unified");
+    let separated = schedule_separated(&body, &lib, SchedulerConfig::sequential(clock, 1, 3)).expect("separated");
+    println!("\nABLATION — unified vs separated scheduling/binding (Example 1):");
+    println!("  unified   : latency {}  worst slack {:+.0} ps", unified.latency, unified.min_slack_ps);
+    println!("  separated : latency {}  worst slack {:+.0} ps", separated.latency, separated.min_slack_ps);
+
+    let modulo = hls::pipeline::modulo_schedule(&body, &lib, 1600.0, 2, 8, |_| 2).expect("modulo baseline");
+    println!("  modulo-scheduling baseline: II {}  latency {}", modulo.ii, modulo.latency());
+
+    c.bench_function("unified_scheduler_example1", |b| {
+        b.iter(|| {
+            Scheduler::new(&body, &lib, SchedulerConfig::sequential(clock, 1, 3))
+                .run()
+                .expect("unified")
+        })
+    });
+    c.bench_function("separated_scheduler_example1", |b| {
+        b.iter(|| schedule_separated(&body, &lib, SchedulerConfig::sequential(clock, 1, 3)).expect("separated"))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 10: area/delay curves of IDCT micro-architectures.
+use criterion::{criterion_group, criterion_main, Criterion};
+use hls_explore::experiments::{idct_exploration, render_points};
+use hls_explore::pareto_front;
+
+fn bench(c: &mut Criterion) {
+    let points = hls_explore::figure10_idct_area_delay();
+    println!("\nFIGURE 10 — IDCT area vs delay:\n{}", render_points(&points));
+    let front = pareto_front(&points);
+    println!("Pareto front (delay, area):");
+    for p in &front {
+        println!("  {:28} delay {:7.1} ns  area {:9.0}", p.label, p.delay_ns, p.area);
+    }
+    c.bench_function("figure10_idct_two_clock_sweep", |b| {
+        b.iter(|| idct_exploration(&[1600.0, 2600.0]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

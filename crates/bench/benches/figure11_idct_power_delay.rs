@@ -1,0 +1,28 @@
+//! Figure 11: power/delay curves of IDCT micro-architectures.
+use criterion::{criterion_group, criterion_main, Criterion};
+use hls_explore::experiments::idct_exploration;
+
+fn bench(c: &mut Criterion) {
+    let points = hls_explore::figure11_idct_power_delay();
+    println!("\nFIGURE 11 — IDCT power vs delay:");
+    println!("  {:28} {:>10} {:>12}", "point", "delay_ns", "power_uW");
+    for p in &points {
+        println!("  {:28} {:>10.1} {:>12.1}", p.label, p.delay_ns, p.power_uw);
+    }
+    if let (Some(max), Some(min)) = (
+        points.iter().map(|p| p.power_uw).fold(None::<f64>, |a, v| Some(a.map_or(v, |m| m.max(v)))),
+        points.iter().map(|p| p.power_uw).fold(None::<f64>, |a, v| Some(a.map_or(v, |m| m.min(v)))),
+    ) {
+        println!("  power range explored: {:.1}x", max / min.max(1e-9));
+    }
+    c.bench_function("figure11_idct_power_sweep", |b| {
+        b.iter(|| idct_exploration(&[2100.0]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

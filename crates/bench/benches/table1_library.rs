@@ -1,0 +1,19 @@
+//! Table 1: initial set of resources with delays (artisan 90nm, fastest cells).
+use criterion::{criterion_group, criterion_main, Criterion};
+use hls_explore::table1_library;
+
+fn bench(c: &mut Criterion) {
+    let rows = table1_library();
+    println!("\nTABLE 1 — resource delays (ps):");
+    for (name, delay) in &rows {
+        println!("  {name:6} {delay:7.0}");
+    }
+    c.bench_function("table1_library_characterization", |b| b.iter(table1_library));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(1)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Table 2: schedule of the paper's Example 1 (sequential, 3 states).
+use criterion::{criterion_group, criterion_main, Criterion};
+use hls_explore::table2_example1_schedule;
+
+fn bench(c: &mut Criterion) {
+    let t2 = table2_example1_schedule();
+    println!("\nTABLE 2 — Example 1 sequential schedule (latency {}):\n{}", t2.latency, t2.table);
+    c.bench_function("table2_example1_schedule", |b| b.iter(table2_example1_schedule));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

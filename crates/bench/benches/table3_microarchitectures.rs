@@ -1,0 +1,20 @@
+//! Table 3: comparing micro-architectures of Example 1 (S, P2, P1).
+use criterion::{criterion_group, criterion_main, Criterion};
+use hls_explore::table3_microarchitectures;
+
+fn bench(c: &mut Criterion) {
+    let rows = table3_microarchitectures();
+    println!("\nTABLE 3 — micro-architecture comparison:");
+    println!("  {:12} {:>18} {:>10} {:>5}", "arch", "cycles/iteration", "area", "muls");
+    for r in &rows {
+        println!("  {:12} {:>18} {:>10.0} {:>5}", r.name, r.cycles_per_iteration, r.area, r.multipliers);
+    }
+    c.bench_function("table3_microarchitectures", |b| b.iter(table3_microarchitectures));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Table 4: impact of time-driven SCC placement (area penalty when disabled).
+use criterion::{criterion_group, criterion_main, Criterion};
+use hls_explore::table4_scc_move_ablation;
+
+fn bench(c: &mut Criterion) {
+    let t4 = table4_scc_move_ablation(10, 180);
+    println!("\nTABLE 4 — % area penalty with SCC-move disabled (7 most critical designs):");
+    for (i, p) in t4.penalties_percent.iter().enumerate() {
+        println!("  D{} {:6.1}%", i + 1, p);
+    }
+    println!("  avg {:6.1}%", t4.average_percent);
+    c.bench_function("table4_scc_move_ablation_small", |b| {
+        b.iter(|| table4_scc_move_ablation(3, 120))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! # hls-bench — benchmark harness regenerating the paper's tables and figures
+//!
+//! Each Criterion bench target corresponds to one table or figure of the
+//! DATE 2011 paper; running `cargo bench` prints the measured rows next to
+//! the timing statistics. See `EXPERIMENTS.md` at the workspace root for the
+//! paper-reported vs measured comparison.
+#![forbid(unsafe_code)]

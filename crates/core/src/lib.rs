@@ -1,0 +1,342 @@
+//! # hls — realistic performance-constrained pipelining in high-level synthesis
+//!
+//! Facade crate of the `rpp-hls` workspace, a from-scratch Rust reproduction
+//! of *Kondratyev, Lavagno, Meyer, Watanabe, "Realistic
+//! Performance-constrained Pipelining in High-level Synthesis", DATE 2011*.
+//!
+//! The [`Synthesizer`] type drives the full flow of the paper's Figure 2:
+//! behavioural input → elaboration → optimization (including predicate
+//! conversion) → simultaneous scheduling and binding (sequential or
+//! pipelined) → folding → area/power estimation → RTL.
+//!
+//! ```
+//! use hls::{Synthesizer, designs};
+//!
+//! // The paper's Figure 1 example, pipelined with II = 2 at a 1600 ps clock.
+//! let result = Synthesizer::new(designs::paper_example1())
+//!     .clock_ps(1600.0)
+//!     .latency_bounds(1, 6)
+//!     .pipeline(2)
+//!     .run()?;
+//! assert_eq!(result.schedule.cycles_per_iteration(), 2);
+//! assert!(result.area > 0.0);
+//! # Ok::<(), hls::SynthesisError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hls_explore as explore;
+pub use hls_frontend as frontend;
+pub use hls_frontend::designs;
+pub use hls_ir as ir;
+pub use hls_netlist as netlist;
+pub use hls_opt as opt;
+pub use hls_pipeline as pipeline;
+pub use hls_sched as sched;
+pub use hls_tech as tech;
+
+use hls_frontend::{elaborate, Behavior};
+use hls_ir::LinearBody;
+use hls_netlist::rtl::{emit_rtl, RtlOptions};
+use hls_netlist::schedule::Datapath;
+use hls_opt::linearize::{linearize_loop, prepare_innermost_loop};
+use hls_pipeline::{fold_schedule, FoldedPipeline};
+use hls_sched::{Schedule, Scheduler, SchedulerConfig};
+use hls_tech::{ClockConstraint, TechLibrary};
+use std::error::Error;
+use std::fmt;
+
+/// Error type of the end-to-end synthesis flow.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SynthesisError {
+    /// The behavioural front-end failed.
+    Frontend(hls_frontend::FrontendError),
+    /// The optimizer or linearization failed.
+    Optimizer(hls_opt::OptError),
+    /// Scheduling failed (over-constrained specification).
+    Scheduling(hls_sched::SchedError),
+    /// Pipeline folding failed.
+    Folding(hls_pipeline::FoldError),
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::Frontend(e) => write!(f, "front-end: {e}"),
+            SynthesisError::Optimizer(e) => write!(f, "optimizer: {e}"),
+            SynthesisError::Scheduling(e) => write!(f, "scheduler: {e}"),
+            SynthesisError::Folding(e) => write!(f, "pipeline folding: {e}"),
+        }
+    }
+}
+
+impl Error for SynthesisError {}
+
+impl From<hls_frontend::FrontendError> for SynthesisError {
+    fn from(e: hls_frontend::FrontendError) -> Self {
+        SynthesisError::Frontend(e)
+    }
+}
+impl From<hls_opt::OptError> for SynthesisError {
+    fn from(e: hls_opt::OptError) -> Self {
+        SynthesisError::Optimizer(e)
+    }
+}
+impl From<hls_sched::SchedError> for SynthesisError {
+    fn from(e: hls_sched::SchedError) -> Self {
+        SynthesisError::Scheduling(e)
+    }
+}
+impl From<hls_pipeline::FoldError> for SynthesisError {
+    fn from(e: hls_pipeline::FoldError) -> Self {
+        SynthesisError::Folding(e)
+    }
+}
+
+/// The result of one synthesis run.
+#[derive(Debug)]
+pub struct SynthesisResult {
+    /// The linearized loop body that was scheduled.
+    pub body: LinearBody,
+    /// The schedule (states, bindings, resources, relaxation history).
+    pub schedule: Schedule,
+    /// The folded pipeline, when a pipelining request was given.
+    pub pipeline: Option<FoldedPipeline>,
+    /// Estimated total area in library units.
+    pub area: f64,
+    /// Estimated total power in microwatts.
+    pub power_uw: f64,
+    /// Generated RTL text.
+    pub rtl: String,
+}
+
+impl SynthesisResult {
+    /// Paper-style state × resource table (like Table 2).
+    pub fn schedule_table(&self) -> String {
+        self.schedule.table(&self.body)
+    }
+}
+
+/// End-to-end synthesis driver.
+#[derive(Clone, Debug)]
+pub struct Synthesizer {
+    behavior: Behavior,
+    clock_ps: f64,
+    min_latency: u32,
+    max_latency: u32,
+    ii: Option<u32>,
+    allow_scc_move: bool,
+    library: TechLibrary,
+    loop_label: Option<String>,
+}
+
+impl Synthesizer {
+    /// Starts a synthesis run for a behaviour.
+    pub fn new(behavior: Behavior) -> Self {
+        Synthesizer {
+            behavior,
+            clock_ps: 1600.0,
+            min_latency: 1,
+            max_latency: 32,
+            ii: None,
+            allow_scc_move: true,
+            library: TechLibrary::artisan_90nm_typical(),
+            loop_label: None,
+        }
+    }
+
+    /// Starts a synthesis run from an already-linearized loop body.
+    pub fn from_body(body: LinearBody) -> BodySynthesizer {
+        BodySynthesizer { body, inner: Synthesizer::new(Behavior { name: String::new(), ports: vec![], vars: vec![], body: vec![] }) }
+    }
+
+    /// Sets the clock period in picoseconds (default 1600 ps, the paper's
+    /// example clock).
+    pub fn clock_ps(mut self, period_ps: f64) -> Self {
+        self.clock_ps = period_ps;
+        self
+    }
+
+    /// Sets the latency bounds (states) the scheduler may use.
+    pub fn latency_bounds(mut self, min: u32, max: u32) -> Self {
+        self.min_latency = min;
+        self.max_latency = max;
+        self
+    }
+
+    /// Requests pipelining with the given initiation interval.
+    pub fn pipeline(mut self, ii: u32) -> Self {
+        self.ii = Some(ii);
+        self
+    }
+
+    /// Disables the timing-driven SCC move action (Table 4 ablation).
+    pub fn without_scc_move(mut self) -> Self {
+        self.allow_scc_move = false;
+        self
+    }
+
+    /// Uses a custom technology library.
+    pub fn library(mut self, library: TechLibrary) -> Self {
+        self.library = library;
+        self
+    }
+
+    /// Selects which loop to synthesize by its label (defaults to the
+    /// innermost loop).
+    pub fn for_loop(mut self, label: impl Into<String>) -> Self {
+        self.loop_label = Some(label.into());
+        self
+    }
+
+    fn config(&self) -> SchedulerConfig {
+        let clock = ClockConstraint::from_period_ps(self.clock_ps);
+        let mut config = match self.ii {
+            Some(ii) => SchedulerConfig::pipelined(clock, ii, self.max_latency),
+            None => SchedulerConfig::sequential(clock, self.min_latency, self.max_latency),
+        };
+        config.allow_scc_move = self.allow_scc_move;
+        config
+    }
+
+    /// Runs the full flow.
+    ///
+    /// # Errors
+    /// Returns a [`SynthesisError`] wrapping the first stage that failed.
+    pub fn run(self) -> Result<SynthesisResult, SynthesisError> {
+        let mut cdfg = elaborate(&self.behavior)?;
+        let body = match &self.loop_label {
+            None => prepare_innermost_loop(&mut cdfg)?,
+            Some(label) => {
+                hls_opt::manager::PassManager::standard().run(&mut cdfg)?;
+                let id = cdfg
+                    .loops
+                    .iter()
+                    .find(|l| l.name.as_deref() == Some(label))
+                    .map(|l| l.id)
+                    .ok_or_else(|| {
+                        SynthesisError::Optimizer(hls_opt::OptError::UnknownLoop {
+                            loop_id: label.clone(),
+                        })
+                    })?;
+                linearize_loop(&cdfg, id)?
+            }
+        };
+        self.run_on_body(body)
+    }
+
+    fn run_on_body(self, body: LinearBody) -> Result<SynthesisResult, SynthesisError> {
+        let config = self.config();
+        let clock = config.clock;
+        let schedule = Scheduler::new(&body, &self.library, config).run()?;
+        let pipeline = match self.ii {
+            Some(_) => Some(fold_schedule(&body, &schedule)?),
+            None => None,
+        };
+        let slack_fraction = (schedule.min_slack_ps / clock.period_ps()).clamp(0.0, 0.9);
+        let dp = Datapath::from_schedule(&body, &schedule.desc, &self.library, clock, slack_fraction);
+        let rtl = emit_rtl(&body, &schedule.desc, RtlOptions { annotate: true });
+        Ok(SynthesisResult {
+            body,
+            schedule,
+            pipeline,
+            area: dp.total_area(),
+            power_uw: dp.total_power_uw(),
+            rtl,
+        })
+    }
+}
+
+/// Synthesis driver over an already-linearized loop body (used by the
+/// exploration experiments, which generate bodies directly).
+#[derive(Clone, Debug)]
+pub struct BodySynthesizer {
+    body: LinearBody,
+    inner: Synthesizer,
+}
+
+impl BodySynthesizer {
+    /// Sets the clock period in picoseconds.
+    pub fn clock_ps(mut self, period_ps: f64) -> Self {
+        self.inner = self.inner.clock_ps(period_ps);
+        self
+    }
+
+    /// Sets the latency bounds.
+    pub fn latency_bounds(mut self, min: u32, max: u32) -> Self {
+        self.inner = self.inner.latency_bounds(min, max);
+        self
+    }
+
+    /// Requests pipelining with the given initiation interval.
+    pub fn pipeline(mut self, ii: u32) -> Self {
+        self.inner = self.inner.pipeline(ii);
+        self
+    }
+
+    /// Runs the flow on the body.
+    ///
+    /// # Errors
+    /// Returns a [`SynthesisError`] wrapping the first stage that failed.
+    pub fn run(self) -> Result<SynthesisResult, SynthesisError> {
+        let BodySynthesizer { body, inner } = self;
+        inner.run_on_body(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_synthesis_of_the_paper_example() {
+        let result = Synthesizer::new(designs::paper_example1())
+            .clock_ps(1600.0)
+            .latency_bounds(1, 3)
+            .run()
+            .expect("synthesizable");
+        assert_eq!(result.schedule.latency, 3);
+        assert!(result.pipeline.is_none());
+        assert!(result.area > 0.0);
+        assert!(result.power_uw > 0.0);
+        assert!(result.rtl.contains("module"));
+        assert!(result.schedule_table().contains("mul"));
+    }
+
+    #[test]
+    fn pipelined_synthesis_folds_the_loop() {
+        let result = Synthesizer::new(designs::paper_example1())
+            .clock_ps(1600.0)
+            .latency_bounds(1, 6)
+            .pipeline(2)
+            .run()
+            .expect("synthesizable");
+        let folded = result.pipeline.as_ref().expect("folded pipeline");
+        assert_eq!(folded.ii, 2);
+        assert_eq!(folded.stages, 2);
+        assert!(result.rtl.contains("stage_valid"));
+    }
+
+    #[test]
+    fn body_synthesizer_runs_on_generated_designs() {
+        let body = explore::idct8_design();
+        let result = Synthesizer::from_body(body)
+            .clock_ps(2000.0)
+            .latency_bounds(1, 16)
+            .run()
+            .expect("synthesizable");
+        assert!(result.schedule.latency <= 16);
+    }
+
+    #[test]
+    fn overconstrained_specification_reports_scheduling_error() {
+        let err = Synthesizer::new(designs::paper_example1())
+            .clock_ps(600.0) // even a single multiplication cannot fit
+            .latency_bounds(1, 2)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, SynthesisError::Scheduling(_)), "{err}");
+    }
+}

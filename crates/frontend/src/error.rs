@@ -1,0 +1,89 @@
+//! Error type of the front-end.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by parsing and elaboration.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum FrontendError {
+    /// A referenced port is not declared.
+    UnknownPort {
+        /// Port name.
+        name: String,
+    },
+    /// A referenced variable is not declared.
+    UnknownVar {
+        /// Variable name (or id rendering).
+        name: String,
+    },
+    /// A write targets an input port or a read targets an output port.
+    PortDirection {
+        /// Port name.
+        name: String,
+    },
+    /// The behavioural text could not be parsed.
+    Parse {
+        /// Line number (1-based).
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The behaviour uses a construct elaboration does not support.
+    Unsupported {
+        /// Explanation.
+        message: String,
+    },
+    /// Elaboration produced an inconsistent CDFG (internal invariant).
+    Elaboration {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::UnknownPort { name } => write!(f, "unknown port `{name}`"),
+            FrontendError::UnknownVar { name } => write!(f, "unknown variable `{name}`"),
+            FrontendError::PortDirection { name } => {
+                write!(f, "port `{name}` accessed against its direction")
+            }
+            FrontendError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            FrontendError::Unsupported { message } => write!(f, "unsupported construct: {message}"),
+            FrontendError::Elaboration { message } => write!(f, "elaboration error: {message}"),
+        }
+    }
+}
+
+impl Error for FrontendError {}
+
+impl From<hls_ir::IrError> for FrontendError {
+    fn from(e: hls_ir::IrError) -> Self {
+        FrontendError::Elaboration { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = [
+            FrontendError::UnknownPort { name: "p".into() },
+            FrontendError::Parse { line: 3, message: "expected `;`".into() },
+            FrontendError::Unsupported { message: "nested threads".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn ir_error_converts() {
+        let ir = hls_ir::IrError::MultipleEntries { count: 2 };
+        let fe: FrontendError = ir.into();
+        assert!(matches!(fe, FrontendError::Elaboration { .. }));
+    }
+}

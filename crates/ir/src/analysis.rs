@@ -1,0 +1,364 @@
+//! Graph analyses on the DFG: strongly connected components, dependence
+//! levels (untimed ASAP/ALAP), and recurrence (minimum initiation interval)
+//! bounds.
+//!
+//! The pipelining approach of the paper hinges on the observation that
+//! *inter-iteration dependencies are represented by cycles that form strongly
+//! connected components in the DFG of a loop* (Section V, requirement a), and
+//! that preserving causality requires all operations of each SCC to be
+//! scheduled within `II` states. The [`sccs`] function computes those
+//! components (Tarjan's algorithm over the dependence graph including
+//! loop-carried edges); [`recurrence_min_ii`] derives the classic
+//! recurrence-constrained lower bound on the initiation interval.
+
+use crate::dfg::Dfg;
+use crate::ids::OpId;
+use std::collections::HashMap;
+
+/// A strongly connected component of the DFG dependence graph (including
+/// loop-carried edges). Components with a single operation and no self loop
+/// are not reported.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Scc {
+    /// Operations in the component.
+    pub ops: Vec<OpId>,
+    /// Total iteration distance around the shortest cycle through the
+    /// component (sum of `distance` attributes), used for recurrence bounds.
+    pub total_distance: u32,
+}
+
+impl Scc {
+    /// Number of operations in the component.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the component is empty (never produced by [`sccs`]).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Returns `true` if the component contains the operation.
+    pub fn contains(&self, op: OpId) -> bool {
+        self.ops.contains(&op)
+    }
+}
+
+/// Computes the non-trivial strongly connected components of the dependence
+/// graph of `dfg`, *including* loop-carried (distance ≥ 1) edges.
+///
+/// A component is non-trivial if it has more than one operation, or a single
+/// operation with a self loop (e.g. `acc = acc + x` expressed as a
+/// loop-carried self-dependency).
+pub fn sccs(dfg: &Dfg) -> Vec<Scc> {
+    let n = dfg.num_ops();
+    // adjacency including loop-carried edges
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut self_loop = vec![false; n];
+    for dep in dfg.data_deps() {
+        if dep.from == dep.to {
+            self_loop[dep.from.index()] = true;
+        }
+        adj[dep.from.index()].push(dep.to.index());
+    }
+
+    // Iterative Tarjan's algorithm.
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    #[derive(Clone, Copy)]
+    struct Frame {
+        v: usize,
+        child: usize,
+    }
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call_stack = vec![Frame { v: start, child: 0 }];
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(frame) = call_stack.last_mut() {
+            let v = frame.v;
+            if frame.child < adj[v].len() {
+                let w = adj[v][frame.child];
+                frame.child += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push(Frame { v: w, child: 0 });
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(parent) = call_stack.last() {
+                    lowlink[parent.v] = lowlink[parent.v].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut comp = Vec::new();
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for comp in components {
+        if comp.len() == 1 && !self_loop[comp[0]] {
+            continue;
+        }
+        let member: Vec<OpId> = {
+            let mut m: Vec<OpId> = comp.iter().map(|&i| OpId::from_raw(i as u32)).collect();
+            m.sort();
+            m
+        };
+        // Total distance: sum of loop-carried distances on edges internal to
+        // the component (a proxy for the distance around its cycles).
+        let set: std::collections::HashSet<OpId> = member.iter().copied().collect();
+        let total_distance = dfg
+            .data_deps()
+            .iter()
+            .filter(|d| set.contains(&d.from) && set.contains(&d.to))
+            .map(|d| d.distance)
+            .sum();
+        out.push(Scc { ops: member, total_distance });
+    }
+    // Deterministic order: by smallest member id.
+    out.sort_by_key(|c| c.ops[0]);
+    out
+}
+
+/// Untimed ASAP levels: the length (in dependence hops) of the longest
+/// distance-0 dependence chain ending at each operation.
+pub fn asap_levels(dfg: &Dfg) -> HashMap<OpId, u32> {
+    let order = dfg
+        .topo_order()
+        .expect("asap_levels requires an acyclic intra-iteration dependence graph");
+    let mut level: HashMap<OpId, u32> = HashMap::new();
+    for id in order {
+        let l = dfg
+            .preds(id)
+            .into_iter()
+            .map(|p| level.get(&p).copied().unwrap_or(0) + 1)
+            .max()
+            .unwrap_or(0);
+        level.insert(id, l);
+    }
+    level
+}
+
+/// Untimed ALAP levels for a given total depth: `depth - longest chain from
+/// the operation to any sink`.
+pub fn alap_levels(dfg: &Dfg, depth: u32) -> HashMap<OpId, u32> {
+    let order = dfg
+        .topo_order()
+        .expect("alap_levels requires an acyclic intra-iteration dependence graph");
+    let mut below: HashMap<OpId, u32> = HashMap::new();
+    for &id in order.iter().rev() {
+        let l = dfg
+            .succs(id)
+            .into_iter()
+            .map(|s| below.get(&s).copied().unwrap_or(0) + 1)
+            .max()
+            .unwrap_or(0);
+        below.insert(id, l);
+    }
+    order
+        .into_iter()
+        .map(|id| (id, depth.saturating_sub(below[&id])))
+        .collect()
+}
+
+/// Critical-path length of the intra-iteration dependence graph, in
+/// dependence hops (number of operations on the longest chain).
+pub fn critical_path_len(dfg: &Dfg) -> u32 {
+    asap_levels(dfg).values().copied().max().map(|m| m + 1).unwrap_or(0)
+}
+
+/// Recurrence-constrained minimum initiation interval, in *operation levels*
+/// per iteration distance, computed per SCC as
+/// `ceil(ops_on_longest_internal_chain / total_distance)`.
+///
+/// This is an untimed structural bound; the timing-aware bound (accounting
+/// for operation delays and the clock period) is computed by the scheduler.
+/// The paper argues the designer fixes II anyway (Section V, condition 1);
+/// this bound is used to reject infeasible user requests early.
+pub fn recurrence_min_ii(dfg: &Dfg) -> u32 {
+    let comps = sccs(dfg);
+    let mut min_ii = 1u32;
+    for c in comps {
+        if c.total_distance == 0 {
+            // No iteration distance inside the SCC would mean a combinational
+            // cycle; validation rejects that elsewhere. Skip defensively.
+            continue;
+        }
+        // Longest chain inside the component, approximated by component size
+        // (every op on the cycle executes once per iteration).
+        let ii = (c.ops.len() as u32).div_ceil(c.total_distance);
+        min_ii = min_ii.max(ii);
+    }
+    min_ii
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::{PortDirection, Signal};
+    use crate::op::{CmpKind, OpKind};
+
+    /// Builds the accumulator pattern of the paper's Figure 3(b):
+    /// `aver = mux(gt, aver*scale, aver0); aver0 = loopMux(aver@-1) + delta`.
+    fn accumulator_dfg() -> (Dfg, Vec<OpId>) {
+        let mut dfg = Dfg::new();
+        let mask = dfg.add_port("mask", PortDirection::Input, 32);
+        let chrome = dfg.add_port("chrome", PortDirection::Input, 32);
+        let scale = dfg.add_port("scale", PortDirection::Input, 32);
+        let th = dfg.add_port("th", PortDirection::Input, 32);
+
+        let mask_rd = dfg.add_op(OpKind::Read(mask), 32, vec![]);
+        let chrome_rd = dfg.add_op(OpKind::Read(chrome), 32, vec![]);
+        let scale_rd = dfg.add_op(OpKind::Read(scale), 32, vec![]);
+        let th_rd = dfg.add_op(OpKind::Read(th), 32, vec![]);
+
+        let mul1 = dfg.add_op(OpKind::Mul, 32, vec![Signal::op(mask_rd), Signal::op(chrome_rd)]);
+        // loopMux selects 0 on the first iteration, previous aver otherwise —
+        // represented as a mux whose second input is the loop-carried MUX
+        // output; ids are patched after creating the final MUX.
+        let loop_mux = dfg.add_op(
+            OpKind::Mux,
+            32,
+            vec![Signal::constant(1, 1), Signal::constant(0, 32), Signal::constant(0, 32)],
+        );
+        let add = dfg.add_op(OpKind::Add, 32, vec![Signal::op(loop_mux), Signal::op(mul1)]);
+        let gt = dfg.add_op(OpKind::Cmp(CmpKind::Gt), 1, vec![Signal::op(add), Signal::op(th_rd)]);
+        let mul2 = dfg.add_op(OpKind::Mul, 32, vec![Signal::op(add), Signal::op(scale_rd)]);
+        let mux = dfg.add_op(OpKind::Mux, 32, vec![Signal::op(gt), Signal::op(mul2), Signal::op(add)]);
+        // close the recurrence: loopMux input 2 is MUX from the previous iteration
+        dfg.op_mut(loop_mux).inputs[2] = Signal::carried(mux, 32, 1);
+
+        (dfg, vec![loop_mux, add, mul2, mux, gt])
+    }
+
+    #[test]
+    fn scc_of_accumulator_matches_paper() {
+        let (dfg, ids) = accumulator_dfg();
+        assert!(dfg.validate().is_ok());
+        let comps = sccs(&dfg);
+        assert_eq!(comps.len(), 1, "exactly one SCC expected");
+        let scc = &comps[0];
+        // The paper lists the SCC as {loopMux, add_op, mul2_op, MUX}; gt_op is
+        // also on the cycle through the MUX select input (the paper's prose
+        // simply omits it), so we expect all five operations here.
+        let loop_mux = ids[0];
+        let add = ids[1];
+        let mul2 = ids[2];
+        let mux = ids[3];
+        let gt = ids[4];
+        assert!(scc.contains(loop_mux));
+        assert!(scc.contains(add));
+        assert!(scc.contains(mul2));
+        assert!(scc.contains(mux));
+        assert!(scc.contains(gt));
+        assert_eq!(scc.len(), 5);
+        assert_eq!(scc.total_distance, 1);
+    }
+
+    #[test]
+    fn self_loop_accumulator_is_an_scc() {
+        let mut dfg = Dfg::new();
+        let p = dfg.add_port("x", PortDirection::Input, 16);
+        let r = dfg.add_op(OpKind::Read(p), 16, vec![]);
+        let acc = dfg.add_op(OpKind::Add, 16, vec![Signal::op_w(r, 16), Signal::op_w(r, 16)]);
+        dfg.op_mut(acc).inputs[1] = Signal::carried(acc, 16, 1);
+        let comps = sccs(&dfg);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].ops, vec![acc]);
+        assert_eq!(comps[0].total_distance, 1);
+    }
+
+    #[test]
+    fn dag_has_no_sccs() {
+        let mut dfg = Dfg::new();
+        let a = dfg.add_op(OpKind::Const(1), 8, vec![]);
+        let b = dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(a, 8), Signal::constant(1, 8)]);
+        let _c = dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(b, 8), Signal::constant(2, 8)]);
+        assert!(sccs(&dfg).is_empty());
+    }
+
+    #[test]
+    fn asap_alap_levels_bound_each_other() {
+        let (dfg, _) = accumulator_dfg();
+        let asap = asap_levels(&dfg);
+        let depth = critical_path_len(&dfg) - 1;
+        let alap = alap_levels(&dfg, depth);
+        for id in dfg.op_ids() {
+            assert!(
+                asap[&id] <= alap[&id],
+                "asap {} must not exceed alap {} for {id}",
+                asap[&id],
+                alap[&id]
+            );
+        }
+    }
+
+    #[test]
+    fn critical_path_of_chain() {
+        let mut dfg = Dfg::new();
+        let mut prev = dfg.add_op(OpKind::Const(0), 8, vec![]);
+        for _ in 0..5 {
+            prev = dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(prev, 8), Signal::constant(1, 8)]);
+        }
+        assert_eq!(critical_path_len(&dfg), 6);
+    }
+
+    #[test]
+    fn recurrence_min_ii_grows_with_cycle_length() {
+        // acc = ((acc@-1 + 1) + 2) + 3 : a 3-op cycle with distance 1 → II ≥ 3
+        let mut dfg = Dfg::new();
+        let a = dfg.add_op(OpKind::Add, 16, vec![Signal::constant(0, 16), Signal::constant(1, 16)]);
+        let b = dfg.add_op(OpKind::Add, 16, vec![Signal::op_w(a, 16), Signal::constant(2, 16)]);
+        let c = dfg.add_op(OpKind::Add, 16, vec![Signal::op_w(b, 16), Signal::constant(3, 16)]);
+        dfg.op_mut(a).inputs[0] = Signal::carried(c, 16, 1);
+        assert_eq!(recurrence_min_ii(&dfg), 3);
+    }
+
+    #[test]
+    fn recurrence_min_ii_of_dag_is_one() {
+        let mut dfg = Dfg::new();
+        let a = dfg.add_op(OpKind::Const(1), 8, vec![]);
+        dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(a, 8), Signal::constant(1, 8)]);
+        assert_eq!(recurrence_min_ii(&dfg), 1);
+    }
+
+    #[test]
+    fn larger_distance_relaxes_recurrence() {
+        // 4-op cycle at distance 2 → II ≥ 2
+        let mut dfg = Dfg::new();
+        let a = dfg.add_op(OpKind::Add, 16, vec![Signal::constant(0, 16), Signal::constant(1, 16)]);
+        let b = dfg.add_op(OpKind::Add, 16, vec![Signal::op_w(a, 16), Signal::constant(1, 16)]);
+        let c = dfg.add_op(OpKind::Add, 16, vec![Signal::op_w(b, 16), Signal::constant(1, 16)]);
+        let d = dfg.add_op(OpKind::Add, 16, vec![Signal::op_w(c, 16), Signal::constant(1, 16)]);
+        dfg.op_mut(a).inputs[0] = Signal::carried(d, 16, 2);
+        assert_eq!(recurrence_min_ii(&dfg), 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! The combined control/data flow graph and loop bookkeeping.
+
+use crate::cfg::Cfg;
+use crate::dfg::Dfg;
+use crate::error::IrError;
+use crate::ids::{CfgEdgeId, CfgNodeId, LoopId, OpId};
+use std::collections::HashMap;
+
+/// Maps each fork node to the 1-bit operation computing its branch condition.
+///
+/// Predicate conversion consults this map to derive operation predicates from
+/// the branch edges they are homed on.
+pub type ForkConditions = HashMap<CfgNodeId, OpId>;
+
+/// Bookkeeping for one loop of the behavioural description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopInfo {
+    /// Loop identifier.
+    pub id: LoopId,
+    /// The loop-top CFG node.
+    pub top: CfgNodeId,
+    /// The loop-bottom CFG node.
+    pub bottom: CfgNodeId,
+    /// Control-step edges that form the loop body, in program order.
+    pub body_edges: Vec<CfgEdgeId>,
+    /// The operation computing the loop exit condition, if the loop is not
+    /// infinite (`delta != 0` in the paper's Figure 1).
+    pub exit_condition: Option<OpId>,
+    /// `true` if the loop runs forever (the outer `while(true)` of a thread).
+    pub infinite: bool,
+    /// Optional user-facing name.
+    pub name: Option<String>,
+}
+
+/// A complete control/data flow graph: the [`Cfg`], the [`Dfg`], the loops,
+/// and the association of operations to control steps.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Cdfg {
+    /// Control flow graph.
+    pub cfg: Cfg,
+    /// Data flow graph.
+    pub dfg: Dfg,
+    /// Loops, outermost first.
+    pub loops: Vec<LoopInfo>,
+    /// Branch condition operation of each fork node.
+    pub fork_conditions: ForkConditions,
+    /// Design name (module name in the source description).
+    pub name: String,
+}
+
+impl Cdfg {
+    /// Creates an empty CDFG with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Cdfg {
+            cfg: Cfg::new(),
+            dfg: Dfg::new(),
+            loops: Vec::new(),
+            fork_conditions: ForkConditions::new(),
+            name: name.into(),
+        }
+    }
+
+    /// Registers a loop.
+    pub fn add_loop(&mut self, info: LoopInfo) -> LoopId {
+        let id = info.id;
+        self.loops.push(info);
+        id
+    }
+
+    /// Looks up a loop by id.
+    pub fn loop_info(&self, id: LoopId) -> Option<&LoopInfo> {
+        self.loops.iter().find(|l| l.id == id)
+    }
+
+    /// The innermost loop (the last registered one), if any. The paper
+    /// pipelines loops as specified by the user, which in the provided
+    /// examples is the innermost `do_while`.
+    pub fn innermost_loop(&self) -> Option<&LoopInfo> {
+        self.loops.last()
+    }
+
+    /// Maps every control-step edge to the operations homed on it.
+    pub fn ops_by_edge(&self) -> HashMap<CfgEdgeId, Vec<OpId>> {
+        let mut map: HashMap<CfgEdgeId, Vec<OpId>> = HashMap::new();
+        for (id, op) in self.dfg.iter_ops() {
+            if let Some(edge) = op.home_edge {
+                map.entry(edge).or_default().push(id);
+            }
+        }
+        map
+    }
+
+    /// Total number of operations — the design-size metric used by the
+    /// paper's Figure 9 (designs ranged from 100 to over 6000 operations).
+    pub fn num_ops(&self) -> usize {
+        self.dfg.num_ops()
+    }
+
+    /// Validates both graphs and their cross-references.
+    ///
+    /// # Errors
+    /// Returns the first violated invariant as an [`IrError`].
+    pub fn validate(&self) -> Result<(), IrError> {
+        self.dfg.validate()?;
+        self.cfg.validate()?;
+        for (id, op) in self.dfg.iter_ops() {
+            if let Some(edge) = op.home_edge {
+                if edge.index() >= self.cfg.num_edges() {
+                    return Err(IrError::HomeEdgeMissing { op: id, edge });
+                }
+            }
+        }
+        for l in &self.loops {
+            for &e in &l.body_edges {
+                if e.index() >= self.cfg.num_edges() {
+                    return Err(IrError::DanglingCfgEdge { edge: e });
+                }
+            }
+            if let Some(cond) = l.exit_condition {
+                if cond.index() >= self.dfg.num_ops() {
+                    return Err(IrError::DanglingOp { op: cond, referenced: cond });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A short multi-line summary used by examples and reports.
+    pub fn summary(&self) -> String {
+        let hist = self.dfg.kind_histogram();
+        let mut kinds: Vec<_> = hist.iter().collect();
+        kinds.sort();
+        let kind_str = kinds
+            .iter()
+            .map(|(k, v)| format!("{k}:{v}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "design `{}`: {} ops, {} ports, {} cfg nodes, {} control steps, {} loops\n  ops: {}",
+            self.name,
+            self.dfg.num_ops(),
+            self.dfg.num_ports(),
+            self.cfg.num_nodes(),
+            self.cfg.num_edges(),
+            self.loops.len(),
+            kind_str
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::straight_line_loop;
+    use crate::dfg::{PortDirection, Signal};
+    use crate::op::OpKind;
+
+    fn tiny_cdfg() -> Cdfg {
+        let mut cdfg = Cdfg::new("tiny");
+        let (cfg, steps, top, bottom) = straight_line_loop(LoopId::from_raw(0), 2);
+        cdfg.cfg = cfg;
+        let a = cdfg.dfg.add_port("a", PortDirection::Input, 8);
+        let y = cdfg.dfg.add_port("y", PortDirection::Output, 8);
+        let ra = cdfg.dfg.add_op(OpKind::Read(a), 8, vec![]);
+        let inc = cdfg.dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(ra, 8), Signal::constant(1, 8)]);
+        let w = cdfg.dfg.add_op(OpKind::Write(y), 8, vec![Signal::op_w(inc, 8)]);
+        cdfg.dfg.set_home_edge(ra, steps[0]);
+        cdfg.dfg.set_home_edge(inc, steps[0]);
+        cdfg.dfg.set_home_edge(w, steps[1]);
+        cdfg.add_loop(LoopInfo {
+            id: LoopId::from_raw(0),
+            top,
+            bottom,
+            body_edges: steps,
+            exit_condition: None,
+            infinite: true,
+            name: Some("main".into()),
+        });
+        cdfg
+    }
+
+    #[test]
+    fn validate_tiny() {
+        let cdfg = tiny_cdfg();
+        assert!(cdfg.validate().is_ok());
+        assert_eq!(cdfg.num_ops(), 3);
+        assert!(cdfg.innermost_loop().is_some());
+    }
+
+    #[test]
+    fn ops_by_edge_groups_correctly() {
+        let cdfg = tiny_cdfg();
+        let by_edge = cdfg.ops_by_edge();
+        let l = cdfg.innermost_loop().unwrap();
+        assert_eq!(by_edge[&l.body_edges[0]].len(), 2);
+        assert_eq!(by_edge[&l.body_edges[1]].len(), 1);
+    }
+
+    #[test]
+    fn home_edge_out_of_range_rejected() {
+        let mut cdfg = tiny_cdfg();
+        let bogus = CfgEdgeId::from_raw(999);
+        let first = cdfg.dfg.op_ids().next().unwrap();
+        cdfg.dfg.set_home_edge(first, bogus);
+        assert!(matches!(cdfg.validate(), Err(IrError::HomeEdgeMissing { .. })));
+    }
+
+    #[test]
+    fn summary_mentions_name_and_counts() {
+        let cdfg = tiny_cdfg();
+        let s = cdfg.summary();
+        assert!(s.contains("tiny"));
+        assert!(s.contains("3 ops"));
+        assert!(s.contains("add:1"));
+    }
+
+    #[test]
+    fn loop_lookup() {
+        let cdfg = tiny_cdfg();
+        assert!(cdfg.loop_info(LoopId::from_raw(0)).is_some());
+        assert!(cdfg.loop_info(LoopId::from_raw(5)).is_none());
+    }
+}

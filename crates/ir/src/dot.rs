@@ -1,0 +1,145 @@
+//! Graphviz (DOT) dumps of the IR, for debugging and documentation.
+
+use crate::cdfg::Cdfg;
+use crate::cfg::{Cfg, CfgNodeKind};
+use crate::dfg::Dfg;
+
+/// Renders the DFG as a DOT digraph. Loop-carried dependencies are drawn as
+/// dashed edges labelled with their iteration distance.
+pub fn dfg_to_dot(dfg: &Dfg) -> String {
+    let mut out = String::from("digraph dfg {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (id, op) in dfg.iter_ops() {
+        let label = format!("{}\\n{} w{}", op.display_name(), op.kind.mnemonic(), op.width);
+        let extra = if op.predicate.is_true() {
+            String::new()
+        } else {
+            format!("\\n[{}]", op.predicate)
+        };
+        out.push_str(&format!("  {} [label=\"{}{}\"];\n", id.index(), label, extra));
+    }
+    for dep in dfg.data_deps() {
+        if dep.distance == 0 {
+            out.push_str(&format!("  {} -> {};\n", dep.from.index(), dep.to.index()));
+        } else {
+            out.push_str(&format!(
+                "  {} -> {} [style=dashed, label=\"-{}\"];\n",
+                dep.from.index(),
+                dep.to.index(),
+                dep.distance
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the CFG as a DOT digraph. Control-step edges are labelled with
+/// their id so they can be cross-referenced with scheduling reports.
+pub fn cfg_to_dot(cfg: &Cfg) -> String {
+    let mut out = String::from("digraph cfg {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n");
+    for (id, node) in cfg.iter_nodes() {
+        let (label, shape) = match &node.kind {
+            CfgNodeKind::Entry => ("entry".to_string(), "oval"),
+            CfgNodeKind::Exit => ("exit".to_string(), "oval"),
+            CfgNodeKind::Wait { label } => (
+                label.clone().unwrap_or_else(|| format!("wait{}", id.index())),
+                "box",
+            ),
+            CfgNodeKind::Fork => ("fork".to_string(), "diamond"),
+            CfgNodeKind::Join => ("join".to_string(), "diamond"),
+            CfgNodeKind::LoopTop { loop_id } => (format!("loop_top({loop_id})"), "house"),
+            CfgNodeKind::LoopBottom { loop_id } => (format!("loop_bottom({loop_id})"), "invhouse"),
+        };
+        out.push_str(&format!(
+            "  {} [label=\"{}\", shape={}];\n",
+            id.index(),
+            label,
+            shape
+        ));
+    }
+    for (id, edge) in cfg.iter_edges() {
+        let style = if edge.back_edge { ", style=dashed" } else { "" };
+        let branch = match edge.branch_taken {
+            Some(true) => " T",
+            Some(false) => " F",
+            None => "",
+        };
+        out.push_str(&format!(
+            "  {} -> {} [label=\"{}{}\"{}];\n",
+            edge.from.index(),
+            edge.to.index(),
+            id,
+            branch,
+            style
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders both graphs of a [`Cdfg`] side by side (two clusters).
+pub fn cdfg_to_dot(cdfg: &Cdfg) -> String {
+    let dfg = dfg_to_dot(&cdfg.dfg);
+    let cfg = cfg_to_dot(&cdfg.cfg);
+    // merge into one document with subgraph clusters
+    let dfg_body: String = dfg
+        .lines()
+        .skip(1)
+        .take_while(|l| *l != "}")
+        .map(|l| format!("  {l}\n"))
+        .collect();
+    let cfg_body: String = cfg
+        .lines()
+        .skip(1)
+        .take_while(|l| *l != "}")
+        .map(|l| l.replace(" -> ", "c -> c").replace("  ", "  c") + "\n")
+        .collect();
+    format!(
+        "digraph cdfg {{\n  label=\"{}\";\n  subgraph cluster_dfg {{\n    label=\"DFG\";\n{dfg_body}  }}\n  subgraph cluster_cfg {{\n    label=\"CFG\";\n{cfg_body}  }}\n}}\n",
+        cdfg.name
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::straight_line_loop;
+    use crate::dfg::{PortDirection, Signal};
+    use crate::ids::LoopId;
+    use crate::op::OpKind;
+
+    #[test]
+    fn dfg_dot_contains_ops_and_edges() {
+        let mut dfg = Dfg::new();
+        let p = dfg.add_port("x", PortDirection::Input, 8);
+        let r = dfg.add_op(OpKind::Read(p), 8, vec![]);
+        let a = dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(r, 8), Signal::constant(1, 8)]);
+        dfg.op_mut(a).inputs[1] = Signal::carried(a, 8, 1);
+        let dot = dfg_to_dot(&dfg);
+        assert!(dot.starts_with("digraph dfg {"));
+        assert!(dot.contains("add"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn cfg_dot_contains_nodes() {
+        let (cfg, ..) = straight_line_loop(LoopId::from_raw(0), 2);
+        let dot = cfg_to_dot(&cfg);
+        assert!(dot.contains("loop_top"));
+        assert!(dot.contains("loop_bottom"));
+        assert!(dot.contains("style=dashed"), "back edge should be dashed");
+    }
+
+    #[test]
+    fn cdfg_dot_has_two_clusters() {
+        let mut cdfg = Cdfg::new("demo");
+        let (cfg, ..) = straight_line_loop(LoopId::from_raw(0), 1);
+        cdfg.cfg = cfg;
+        cdfg.dfg.add_op(OpKind::Const(1), 8, vec![]);
+        let dot = cdfg_to_dot(&cdfg);
+        assert!(dot.contains("cluster_dfg"));
+        assert!(dot.contains("cluster_cfg"));
+        assert!(dot.contains("demo"));
+    }
+}

@@ -1,0 +1,30 @@
+//! # hls-netlist — datapath model, timing, area, power and RTL
+//!
+//! The paper's scheduler is "tightly integrated with logic synthesis": it
+//! builds a netlist for the scheduled part of the CDFG and performs (cached)
+//! timing queries on it (Section IV.B.1), rejects bindings that would create
+//! combinational cycles (IV.B.3), and the final implementation is evaluated
+//! for area and power (Section VI). This crate is the stand-in for that logic
+//! synthesis back-end:
+//!
+//! * [`timing::ChainTiming`] — the register-to-register path delay model of
+//!   Figure 8 (`FF launch + input mux + FU + ... + register mux + FF setup`),
+//!   with memoized resource-delay queries;
+//! * [`timing::CombGraph`] — incremental combinational-cycle detection over
+//!   resource instances;
+//! * [`schedule::ScheduleDesc`] — the binding/state assignment produced by the
+//!   scheduler, shared between crates;
+//! * [`schedule::Datapath`] — functional units, sharing multiplexers and
+//!   registers extracted from a schedule, with area and power estimation;
+//! * [`rtl`] — a Verilog-like RTL emitter with an FSM controller, including
+//!   the stage-valid predication used by folded pipelines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rtl;
+pub mod schedule;
+pub mod timing;
+
+pub use schedule::{AreaBreakdown, Datapath, PowerBreakdown, ScheduleDesc, ScheduledOp};
+pub use timing::{ChainTiming, CombGraph};

@@ -1,0 +1,57 @@
+//! Error type of the optimizer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by optimization passes and linearization.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum OptError {
+    /// The requested loop does not exist in the CDFG.
+    UnknownLoop {
+        /// Rendering of the missing loop id.
+        loop_id: String,
+    },
+    /// A pass produced or encountered an invalid IR.
+    InvalidIr {
+        /// The underlying IR error rendering.
+        message: String,
+    },
+    /// The loop cannot be linearized (e.g. it still contains an unsupported
+    /// construct after optimization).
+    Linearize {
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::UnknownLoop { loop_id } => write!(f, "unknown loop {loop_id}"),
+            OptError::InvalidIr { message } => write!(f, "invalid IR after pass: {message}"),
+            OptError::Linearize { message } => write!(f, "cannot linearize loop: {message}"),
+        }
+    }
+}
+
+impl Error for OptError {}
+
+impl From<hls_ir::IrError> for OptError {
+    fn from(e: hls_ir::IrError) -> Self {
+        OptError::InvalidIr { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = OptError::UnknownLoop { loop_id: "loop3".into() };
+        assert!(e.to_string().contains("loop3"));
+        let ir: OptError = hls_ir::IrError::MultipleEntries { count: 2 }.into();
+        assert!(matches!(ir, OptError::InvalidIr { .. }));
+    }
+}

@@ -1,0 +1,122 @@
+//! Predicate conversion (branch predication, Figure 4 of the paper).
+//!
+//! Operations homed on the branch edges of a fork receive a predicate derived
+//! from the fork's condition: `Cond(c)` for the taken branch, `NotCond(c)`
+//! for the not-taken branch, conjoined with any predicate they already carry
+//! (nested conditionals). After this pass the scheduler can treat the loop
+//! body as a straight line: mutual exclusion between the two arms is captured
+//! entirely by predicates, which both the resource lower bound and
+//! per-control-step resource sharing exploit.
+
+use crate::error::OptError;
+use crate::passes::Pass;
+use hls_ir::{Cdfg, CfgNodeKind, Predicate};
+
+/// The branch predication pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PredicateConversion;
+
+impl Pass for PredicateConversion {
+    fn name(&self) -> &'static str {
+        "predicate-conversion"
+    }
+
+    fn run(&self, cdfg: &mut Cdfg) -> Result<usize, OptError> {
+        let mut changed = 0;
+        // Collect (edge, predicate literal) pairs for every branch edge.
+        let mut edge_predicates = Vec::new();
+        for (edge_id, edge) in cdfg.cfg.iter_edges() {
+            let Some(taken) = edge.branch_taken else { continue };
+            let from_kind = &cdfg.cfg.node(edge.from).kind;
+            if !matches!(from_kind, CfgNodeKind::Fork) {
+                continue;
+            }
+            let Some(&cond) = cdfg.fork_conditions.get(&edge.from) else {
+                continue;
+            };
+            let literal = if taken { Predicate::Cond(cond) } else { Predicate::NotCond(cond) };
+            edge_predicates.push((edge_id, literal));
+        }
+        for (edge_id, literal) in edge_predicates {
+            for op_id in cdfg.dfg.op_ids().collect::<Vec<_>>() {
+                if cdfg.dfg.op(op_id).home_edge != Some(edge_id) {
+                    continue;
+                }
+                let op = cdfg.dfg.op_mut(op_id);
+                let old = std::mem::take(&mut op.predicate);
+                op.predicate = old.and(literal.clone());
+                changed += 1;
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_frontend::{designs, elaborate, BehaviorBuilder, Expr};
+    use hls_ir::{CmpKind, OpKind};
+
+    #[test]
+    fn example1_mul2_gets_predicated_on_gt() {
+        let mut cdfg = designs::paper_example1_cdfg().expect("elaborate");
+        let n = PredicateConversion.run(&mut cdfg).unwrap();
+        assert!(n >= 1, "at least mul2_op must be predicated");
+        let (gt_id, _) = cdfg
+            .dfg
+            .iter_ops()
+            .find(|(_, op)| op.display_name() == "gt_op")
+            .expect("gt op");
+        let (_, mul2) = cdfg
+            .dfg
+            .iter_ops()
+            .find(|(_, op)| op.display_name() == "mul2_op")
+            .expect("mul2 op");
+        assert_eq!(mul2.predicate, Predicate::Cond(gt_id));
+        // operations outside the branch stay unconditional
+        let (_, mul1) = cdfg
+            .dfg
+            .iter_ops()
+            .find(|(_, op)| op.display_name() == "mul1_op")
+            .expect("mul1 op");
+        assert!(mul1.predicate.is_true());
+    }
+
+    #[test]
+    fn then_and_else_arms_become_mutually_exclusive() {
+        let mut b = BehaviorBuilder::new("branchy");
+        b.port_in("x", 16);
+        b.port_out("y", 16);
+        let v = b.var("v", 16, 0);
+        let body = vec![
+            b.assign(v, b.read_port("x")),
+            b.if_then_else(
+                Expr::cmp(CmpKind::Gt, b.read_var(v), Expr::Const(7)),
+                vec![b.assign(v, Expr::mul(b.read_var(v), Expr::Const(3)))],
+                vec![b.assign(v, Expr::mul(b.read_var(v), Expr::Const(5)))],
+            ),
+            b.write_port("y", b.read_var(v)),
+            b.wait(),
+        ];
+        let l = b.do_while("main", body, Expr::cmp(CmpKind::Ne, b.read_var(v), Expr::Const(0)));
+        b.push(l);
+        let mut cdfg = elaborate(&b.build()).expect("elaborate");
+        PredicateConversion.run(&mut cdfg).unwrap();
+        let muls: Vec<_> = cdfg
+            .dfg
+            .iter_ops()
+            .filter(|(_, op)| matches!(op.kind, OpKind::Mul))
+            .map(|(_, op)| op.predicate.clone())
+            .collect();
+        assert_eq!(muls.len(), 2);
+        assert!(muls[0].mutually_exclusive(&muls[1]), "{muls:?}");
+    }
+
+    #[test]
+    fn design_without_branches_is_untouched() {
+        let mut cdfg = elaborate(&designs::moving_average(3, 16)).expect("elaborate");
+        let n = PredicateConversion.run(&mut cdfg).unwrap();
+        assert_eq!(n, 0);
+    }
+}

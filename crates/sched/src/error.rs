@@ -1,0 +1,70 @@
+//! Error type of the scheduler.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the scheduler.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The specification is over-constrained: no sequence of relaxation
+    /// actions within the configured bounds produced a feasible schedule.
+    Overconstrained {
+        /// Latency reached when the scheduler gave up.
+        latency: u32,
+        /// Number of scheduling passes executed.
+        passes: u32,
+        /// Human-readable diagnostics (outstanding restraints).
+        details: String,
+    },
+    /// The loop body failed validation before scheduling.
+    InvalidBody {
+        /// The underlying error rendering.
+        message: String,
+    },
+    /// The requested initiation interval is infeasible for the loop's
+    /// recurrences (structural lower bound violated).
+    InfeasibleIi {
+        /// Requested initiation interval.
+        requested: u32,
+        /// Structural minimum implied by the DFG recurrences.
+        minimum: u32,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Overconstrained { latency, passes, details } => write!(
+                f,
+                "specification is overconstrained (gave up at latency {latency} after {passes} passes): {details}"
+            ),
+            SchedError::InvalidBody { message } => write!(f, "invalid loop body: {message}"),
+            SchedError::InfeasibleIi { requested, minimum } => write!(
+                f,
+                "initiation interval {requested} is below the recurrence-imposed minimum {minimum}"
+            ),
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+impl From<hls_ir::IrError> for SchedError {
+    fn from(e: hls_ir::IrError) -> Self {
+        SchedError::InvalidBody { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = SchedError::Overconstrained { latency: 3, passes: 7, details: "x".into() };
+        assert!(e.to_string().contains("overconstrained"));
+        let e = SchedError::InfeasibleIi { requested: 1, minimum: 3 };
+        assert!(e.to_string().contains("minimum 3"));
+    }
+}

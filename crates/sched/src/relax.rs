@@ -1,0 +1,358 @@
+//! Restraints and the relaxation expert system (Section IV.B, last part).
+//!
+//! Every time a binding of an operation to an edge and/or a resource fails,
+//! the pass scheduler issues a [`Restraint`]. When the whole pass fails, the
+//! restraints are analyzed and weighted, every applicable [`RelaxAction`] is
+//! scored by how many restraints it addresses minus its estimated cost, and
+//! the best action is applied before the next pass.
+
+use crate::config::SchedulerConfig;
+use hls_ir::OpId;
+use hls_tech::{ResourceInstanceId, ResourceSet, ResourceType, TechLibrary};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A reason recorded when a binding attempt fails.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Restraint {
+    /// The operation cannot meet the clock on any available (or hypothetical
+    /// fresh) resource in the states it is allowed to use.
+    NegativeSlack {
+        /// The failing operation.
+        op: OpId,
+        /// The best (least negative) slack observed, in picoseconds.
+        slack_ps: f64,
+    },
+    /// Every compatible resource instance is busy in the allowed states.
+    ResourceContention {
+        /// The failing operation.
+        op: OpId,
+        /// The resource type that ran out of instances.
+        ty: ResourceType,
+    },
+    /// Binding the operation would create a combinational cycle.
+    CombCycle {
+        /// The failing operation.
+        op: OpId,
+        /// The resource whose sharing would close the cycle.
+        resource: ResourceInstanceId,
+    },
+    /// The operation belongs to a strongly connected component whose
+    /// II-state window does not allow any feasible state.
+    SccWindow {
+        /// Index of the SCC (into the scheduler's SCC list).
+        scc_index: usize,
+        /// The failing operation.
+        op: OpId,
+    },
+}
+
+impl Restraint {
+    /// The operation this restraint is attached to.
+    pub fn op(&self) -> OpId {
+        match self {
+            Restraint::NegativeSlack { op, .. }
+            | Restraint::ResourceContention { op, .. }
+            | Restraint::CombCycle { op, .. }
+            | Restraint::SccWindow { op, .. } => *op,
+        }
+    }
+}
+
+impl fmt::Display for Restraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Restraint::NegativeSlack { op, slack_ps } => {
+                write!(f, "negative slack of {slack_ps:.0} ps on {op}")
+            }
+            Restraint::ResourceContention { op, ty } => {
+                write!(f, "no free {ty} instance for {op}")
+            }
+            Restraint::CombCycle { op, resource } => {
+                write!(f, "binding {op} to {resource} would create a combinational cycle")
+            }
+            Restraint::SccWindow { scc_index, op } => {
+                write!(f, "operation {op} of SCC #{scc_index} cannot fit its pipeline stage window")
+            }
+        }
+    }
+}
+
+/// A corrective action applied between scheduling passes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RelaxAction {
+    /// Add one state to the loop body (increase the latency / LI).
+    AddState,
+    /// Allocate one more instance of the given resource type.
+    AddResource(ResourceType),
+    /// Move a whole SCC to the next pipeline stage (timing-driven kernel
+    /// selection — the paper's key pipelining action).
+    MoveScc {
+        /// Index of the SCC to move.
+        scc_index: usize,
+    },
+    /// Forbid a specific operation-to-resource binding (used to break
+    /// combinational cycles).
+    ForbidBinding {
+        /// The operation.
+        op: OpId,
+        /// The resource it must not use.
+        resource: ResourceInstanceId,
+    },
+}
+
+impl fmt::Display for RelaxAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelaxAction::AddState => write!(f, "add state"),
+            RelaxAction::AddResource(ty) => write!(f, "add resource {ty}"),
+            RelaxAction::MoveScc { scc_index } => write!(f, "move SCC #{scc_index} to the next stage"),
+            RelaxAction::ForbidBinding { op, resource } => {
+                write!(f, "forbid binding {op} → {resource}")
+            }
+        }
+    }
+}
+
+/// Chooses the best relaxation action for a set of restraints.
+///
+/// Returns `None` when no applicable action addresses any restraint — the
+/// specification is over-constrained.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_action(
+    restraints: &[Restraint],
+    config: &SchedulerConfig,
+    lib: &TechLibrary,
+    latency: u32,
+    num_sccs: usize,
+    scc_stage: &HashMap<usize, u32>,
+    resources: &ResourceSet,
+    failed_ops: &[OpId],
+) -> Option<RelaxAction> {
+    let weight = |r: &Restraint| if failed_ops.contains(&r.op()) { 2.0 } else { 1.0 };
+
+    let mut candidates: Vec<(RelaxAction, f64)> = Vec::new();
+
+    // Add a state.
+    if latency < config.max_latency {
+        let gain: f64 = restraints
+            .iter()
+            .filter(|r| matches!(r, Restraint::NegativeSlack { .. } | Restraint::ResourceContention { .. }))
+            .map(weight)
+            .sum();
+        if gain > 0.0 {
+            candidates.push((RelaxAction::AddState, gain - 1.0));
+        }
+    }
+
+    // Add resources, one candidate per contended type whose ops do not also
+    // fail on timing (adding hardware cannot fix negative slack).
+    if config.allow_add_resources {
+        let mut by_type: HashMap<String, (ResourceType, f64)> = HashMap::new();
+        for r in restraints {
+            if let Restraint::ResourceContention { op, ty } = r {
+                let also_slack = restraints.iter().any(|other| {
+                    matches!(other, Restraint::NegativeSlack { op: o, .. } if o == op)
+                });
+                if also_slack {
+                    continue;
+                }
+                let entry = by_type
+                    .entry(ty.name())
+                    .or_insert_with(|| (ty.clone(), 0.0));
+                entry.1 += weight(r);
+            }
+        }
+        for (_, (ty, gain)) in by_type {
+            let cost = lib.area(&ty) / 5000.0;
+            candidates.push((RelaxAction::AddResource(ty), gain - cost));
+        }
+    }
+
+    // Move an SCC to the next stage (pipelined only).
+    if config.pipeline.is_some() && config.allow_scc_move && num_sccs > 0 {
+        let ii = config.ii_or(latency);
+        let num_stages = latency.div_ceil(ii).max(1);
+        let mut by_scc: HashMap<usize, f64> = HashMap::new();
+        for r in restraints {
+            match r {
+                Restraint::SccWindow { scc_index, .. } => {
+                    *by_scc.entry(*scc_index).or_insert(0.0) += weight(r) + 0.5;
+                }
+                Restraint::NegativeSlack { op, .. } => {
+                    // negative slack on an op that belongs to an SCC also
+                    // suggests moving that SCC
+                    for idx in 0..num_sccs {
+                        if restraints.iter().any(|other| {
+                            matches!(other, Restraint::SccWindow { scc_index, op: o } if *scc_index == idx && o == op)
+                        }) {
+                            *by_scc.entry(idx).or_insert(0.0) += weight(r) * 0.5;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (scc_index, gain) in by_scc {
+            let current = scc_stage.get(&scc_index).copied().unwrap_or(0);
+            if current + 1 < num_stages {
+                candidates.push((RelaxAction::MoveScc { scc_index }, gain - 0.4));
+            }
+        }
+    }
+
+    // Forbid bindings that close combinational cycles.
+    for r in restraints {
+        if let Restraint::CombCycle { op, resource } = r {
+            candidates.push((
+                RelaxAction::ForbidBinding { op: *op, resource: *resource },
+                weight(r) - 0.2,
+            ));
+        }
+    }
+
+    let _ = resources; // reserved for smarter cost models
+    candidates
+        .into_iter()
+        .filter(|(_, score)| *score > f64::NEG_INFINITY)
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(action, _)| action)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_tech::{ClockConstraint, ResourceClass};
+
+    fn cfg_seq() -> SchedulerConfig {
+        SchedulerConfig::sequential(ClockConstraint::from_period_ps(1600.0), 1, 3)
+    }
+
+    fn mul32() -> ResourceType {
+        ResourceType::binary(ResourceClass::Multiplier, 32, 32, 32)
+    }
+
+    #[test]
+    fn slack_plus_contention_prefers_adding_a_state() {
+        // Mirrors the paper's first relaxation in Example 1: mul contention
+        // and gt negative slack → add a state rather than a multiplier.
+        let lib = TechLibrary::artisan_90nm_typical();
+        let op1 = OpId::from_raw(1);
+        let op2 = OpId::from_raw(2);
+        let restraints = vec![
+            Restraint::ResourceContention { op: op1, ty: mul32() },
+            Restraint::NegativeSlack { op: op1, slack_ps: -200.0 },
+            Restraint::NegativeSlack { op: op2, slack_ps: -200.0 },
+        ];
+        let action = choose_action(
+            &restraints,
+            &cfg_seq(),
+            &lib,
+            1,
+            0,
+            &HashMap::new(),
+            &ResourceSet::new(),
+            &[op1, op2],
+        )
+        .expect("an action");
+        assert_eq!(action, RelaxAction::AddState);
+    }
+
+    #[test]
+    fn pure_contention_adds_a_resource_when_states_exhausted() {
+        let lib = TechLibrary::artisan_90nm_typical();
+        let op1 = OpId::from_raw(1);
+        let restraints = vec![Restraint::ResourceContention { op: op1, ty: mul32() }];
+        // latency already at max → AddState unavailable
+        let action = choose_action(
+            &restraints,
+            &cfg_seq(),
+            &lib,
+            3,
+            0,
+            &HashMap::new(),
+            &ResourceSet::new(),
+            &[op1],
+        )
+        .expect("an action");
+        assert!(matches!(action, RelaxAction::AddResource(ty) if ty.class == ResourceClass::Multiplier));
+    }
+
+    #[test]
+    fn scc_window_failure_moves_the_scc_when_pipelined() {
+        let lib = TechLibrary::artisan_90nm_typical();
+        let cfg = SchedulerConfig::pipelined(ClockConstraint::from_period_ps(1600.0), 1, 4);
+        let op = OpId::from_raw(3);
+        let restraints = vec![
+            Restraint::SccWindow { scc_index: 0, op },
+            Restraint::NegativeSlack { op, slack_ps: -300.0 },
+        ];
+        let action = choose_action(
+            &restraints,
+            &cfg,
+            &lib,
+            3,
+            1,
+            &HashMap::new(),
+            &ResourceSet::new(),
+            &[op],
+        )
+        .expect("an action");
+        assert_eq!(action, RelaxAction::MoveScc { scc_index: 0 });
+    }
+
+    #[test]
+    fn scc_move_is_disabled_by_the_ablation_flag() {
+        let lib = TechLibrary::artisan_90nm_typical();
+        let cfg = SchedulerConfig::pipelined(ClockConstraint::from_period_ps(1600.0), 1, 4).without_scc_move();
+        let op = OpId::from_raw(3);
+        let restraints = vec![Restraint::SccWindow { scc_index: 0, op }];
+        let action = choose_action(&restraints, &cfg, &lib, 3, 1, &HashMap::new(), &ResourceSet::new(), &[op]);
+        assert!(!matches!(action, Some(RelaxAction::MoveScc { .. })));
+    }
+
+    #[test]
+    fn comb_cycle_forbids_the_binding() {
+        let lib = TechLibrary::artisan_90nm_typical();
+        let op = OpId::from_raw(5);
+        let res = ResourceInstanceId(0);
+        let restraints = vec![Restraint::CombCycle { op, resource: res }];
+        let action = choose_action(
+            &restraints,
+            &cfg_seq(),
+            &lib,
+            3,
+            0,
+            &HashMap::new(),
+            &ResourceSet::new(),
+            &[op],
+        )
+        .expect("an action");
+        assert_eq!(action, RelaxAction::ForbidBinding { op, resource: res });
+    }
+
+    #[test]
+    fn no_action_when_nothing_applies() {
+        let lib = TechLibrary::artisan_90nm_typical();
+        let action = choose_action(
+            &[],
+            &cfg_seq(),
+            &lib,
+            3,
+            0,
+            &HashMap::new(),
+            &ResourceSet::new(),
+            &[],
+        );
+        assert!(action.is_none());
+    }
+
+    #[test]
+    fn restraint_display_and_op() {
+        let r = Restraint::NegativeSlack { op: OpId::from_raw(2), slack_ps: -150.0 };
+        assert!(r.to_string().contains("-150"));
+        assert_eq!(r.op(), OpId::from_raw(2));
+        let a = RelaxAction::AddState;
+        assert_eq!(a.to_string(), "add state");
+    }
+}

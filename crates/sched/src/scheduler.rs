@@ -1,0 +1,373 @@
+//! The multi-pass scheduling driver: run a pass, and when it fails let the
+//! relaxation expert system pick a corrective action and try again.
+
+use crate::config::SchedulerConfig;
+use crate::error::SchedError;
+use crate::pass::{schedule_pass, PassInput, PassOutcome};
+use crate::relax::{choose_action, RelaxAction};
+use crate::resources::initial_resource_set;
+use hls_ir::analysis::{sccs, Scc};
+use hls_ir::{LinearBody, OpId};
+use hls_netlist::schedule::ScheduleDesc;
+use hls_tech::{ResourceInstanceId, ResourceSet, TechLibrary};
+use std::collections::{HashMap, HashSet};
+
+/// A successful scheduling result.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// The schedule: states, bindings, resources, II.
+    pub desc: ScheduleDesc,
+    /// Achieved latency (LI for pipelined loops).
+    pub latency: u32,
+    /// Worst slack over all bound register-to-register paths, ps.
+    pub min_slack_ps: f64,
+    /// Number of scheduling passes executed.
+    pub passes: u32,
+    /// Relaxation actions applied, in order.
+    pub actions: Vec<RelaxAction>,
+}
+
+impl Schedule {
+    /// Effective cycles per iteration (II if pipelined, latency otherwise).
+    pub fn cycles_per_iteration(&self) -> u32 {
+        self.desc.cycles_per_iteration()
+    }
+
+    /// Renders the paper-style state × resource table (Table 2).
+    pub fn table(&self, body: &LinearBody) -> String {
+        self.desc.to_table(body)
+    }
+}
+
+/// The multi-pass scheduler.
+pub struct Scheduler<'a> {
+    body: &'a LinearBody,
+    lib: &'a TechLibrary,
+    config: SchedulerConfig,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Creates a scheduler for the given body, library and configuration.
+    pub fn new(body: &'a LinearBody, lib: &'a TechLibrary, config: SchedulerConfig) -> Self {
+        Scheduler { body, lib, config }
+    }
+
+    /// Runs scheduling passes until success or until no relaxation action is
+    /// applicable.
+    ///
+    /// # Errors
+    /// Returns [`SchedError::InvalidBody`] if the body fails validation, or
+    /// [`SchedError::Overconstrained`] if the latency/resource bounds cannot
+    /// accommodate the design at the requested clock.
+    pub fn run(&self) -> Result<Schedule, SchedError> {
+        self.body.validate()?;
+        let components: Vec<Scc> = sccs(&self.body.dfg);
+
+        let mut latency = self.config.min_latency.max(1);
+        // The lower-bound resource estimate uses the *most generous* latency
+        // the designer allows (the paper sizes Example 1 with "3 multiplies in
+        // at most 3 states"), or the II for pipelined loops.
+        let slots = self.config.ii_or(self.config.max_latency);
+        let mut resources: ResourceSet = initial_resource_set(self.body, slots);
+        let mut forbidden: HashSet<(OpId, ResourceInstanceId)> = HashSet::new();
+        let mut scc_stage: HashMap<usize, u32> = HashMap::new();
+        let mut actions: Vec<RelaxAction> = Vec::new();
+
+        for pass_no in 1..=self.config.max_passes {
+            let input = PassInput {
+                body: self.body,
+                lib: self.lib,
+                config: &self.config,
+                latency,
+                resources: &resources,
+                forbidden: &forbidden,
+                scc_stage: &scc_stage,
+                sccs: &components,
+            };
+            match schedule_pass(&input) {
+                PassOutcome::Success { desc, min_slack_ps } => {
+                    return Ok(Schedule {
+                        desc,
+                        latency,
+                        min_slack_ps,
+                        passes: pass_no,
+                        actions,
+                    });
+                }
+                PassOutcome::Failure(failure) => {
+                    let action = choose_action(
+                        &failure.restraints,
+                        &self.config,
+                        self.lib,
+                        latency,
+                        components.len(),
+                        &scc_stage,
+                        &resources,
+                        &failure.failed_ops,
+                    );
+                    let Some(action) = action else {
+                        let details = failure
+                            .restraints
+                            .iter()
+                            .map(|r| r.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; ");
+                        return Err(SchedError::Overconstrained {
+                            latency,
+                            passes: pass_no,
+                            details,
+                        });
+                    };
+                    match &action {
+                        RelaxAction::AddState => latency += 1,
+                        RelaxAction::AddResource(ty) => {
+                            resources.add(ty.clone());
+                        }
+                        RelaxAction::MoveScc { scc_index } => {
+                            *scc_stage.entry(*scc_index).or_insert(0) += 1;
+                        }
+                        RelaxAction::ForbidBinding { op, resource } => {
+                            forbidden.insert((*op, *resource));
+                        }
+                    }
+                    actions.push(action);
+                }
+            }
+        }
+        Err(SchedError::Overconstrained {
+            latency,
+            passes: self.config.max_passes,
+            details: "maximum number of scheduling passes exceeded".to_string(),
+        })
+    }
+}
+
+/// Schedules first with unlimited mobility and *then* assigns resources — the
+/// classical separated flow the paper argues against. Used only by the
+/// ablation benchmark to quantify the benefit of simultaneous scheduling and
+/// binding; the separated flow ignores sharing-mux delays while placing
+/// operations, so its schedules systematically over-estimate the available
+/// slack.
+///
+/// # Errors
+/// Propagates the same errors as [`Scheduler::run`].
+pub fn schedule_separated(
+    body: &LinearBody,
+    lib: &TechLibrary,
+    config: SchedulerConfig,
+) -> Result<Schedule, SchedError> {
+    // Phase 1: pretend every operation class has as many instances as
+    // operations (no contention, no sharing muxes) to fix states quickly.
+    let mut generous = config.clone();
+    generous.allow_add_resources = true;
+    let unlimited = initial_resource_set(body, 1);
+    let components = sccs(&body.dfg);
+    let mut latency = generous.min_latency.max(1);
+    let schedule_states;
+    loop {
+        let input = PassInput {
+            body,
+            lib,
+            config: &generous,
+            latency,
+            resources: &unlimited,
+            forbidden: &HashSet::new(),
+            scc_stage: &HashMap::new(),
+            sccs: &components,
+        };
+        match schedule_pass(&input) {
+            PassOutcome::Success { desc, .. } => {
+                schedule_states = desc;
+                break;
+            }
+            PassOutcome::Failure(_) if latency < generous.max_latency => latency += 1,
+            PassOutcome::Failure(f) => {
+                return Err(SchedError::Overconstrained {
+                    latency,
+                    passes: 1,
+                    details: format!("separated flow failed: {} restraints", f.restraints.len()),
+                })
+            }
+        }
+    }
+    // Phase 2: bind onto the lower-bound resource set state by state; this is
+    // where the separated flow pays for ignoring mux delays: we simply keep
+    // the state assignment and recompute the worst slack with sharing muxes,
+    // reporting it (possibly negative — the post-synthesis surprise).
+    let shared = initial_resource_set(body, config.ii_or(latency));
+    let mut timing = hls_netlist::timing::ChainTiming::new(lib, config.clock);
+    let mut min_slack: f64 = config.clock.period_ps();
+    for (id, s) in &schedule_states.ops {
+        let op = body.dfg.op(*id);
+        if let Some(ty) = hls_tech::ResourceType::for_op(op) {
+            if matches!(ty.class, hls_tech::ResourceClass::IoPort) {
+                continue;
+            }
+            let in_arrivals: Vec<f64> = op
+                .inputs
+                .iter()
+                .map(|sig| match sig.producer() {
+                    Some(p) if sig.distance == 0 => match schedule_states.ops.get(&p) {
+                        Some(sp) if sp.state == s.state => timing.register_arrival_ps() + lib.delay_ps(&ty),
+                        _ => timing.register_arrival_ps(),
+                    },
+                    _ => timing.register_arrival_ps(),
+                })
+                .collect();
+            // with sharing: every op of the class shares one of the few
+            // instances → mux penalty
+            let ops_of_class = body
+                .dfg
+                .iter_ops()
+                .filter(|(_, o)| {
+                    hls_tech::ResourceType::for_op(o).map(|t| t.class == ty.class).unwrap_or(false)
+                })
+                .count();
+            let insts = shared.count_of_class(&ty.class).max(1);
+            let a = timing.op_arrival_ps(&in_arrivals, ops_of_class.div_ceil(insts), &ty);
+            min_slack = min_slack.min(timing.slack_shared_ps(a, op.width, config.sharing_possible()));
+        }
+    }
+    Ok(Schedule {
+        latency: schedule_states.num_states,
+        desc: ScheduleDesc { resources: shared, ..schedule_states },
+        min_slack_ps: min_slack,
+        passes: 1,
+        actions: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_frontend::designs;
+    use hls_opt::linearize::prepare_innermost_loop;
+    use hls_tech::{ClockConstraint, ResourceClass};
+
+    fn example1() -> LinearBody {
+        let mut cdfg = designs::paper_example1_cdfg().expect("elab");
+        prepare_innermost_loop(&mut cdfg).expect("prepare")
+    }
+
+    fn lib() -> TechLibrary {
+        TechLibrary::artisan_90nm_typical()
+    }
+
+    fn clk() -> ClockConstraint {
+        ClockConstraint::from_period_ps(1600.0)
+    }
+
+    #[test]
+    fn example1_sequential_matches_table2() {
+        // Paper, Example 1: minimum resources, 3 cycles per iteration, the
+        // scheduler needed to add two states starting from latency 1.
+        let body = example1();
+        let lib = lib();
+        let schedule = Scheduler::new(&body, &lib, SchedulerConfig::sequential(clk(), 1, 3))
+            .run()
+            .expect("schedulable");
+        assert_eq!(schedule.latency, 3);
+        assert_eq!(schedule.cycles_per_iteration(), 3);
+        assert_eq!(schedule.desc.resources.count_of_class(&ResourceClass::Multiplier), 1);
+        assert!(schedule.actions.iter().filter(|a| matches!(a, RelaxAction::AddState)).count() >= 2);
+        assert!(schedule.min_slack_ps >= 0.0);
+        let table = schedule.table(&body);
+        assert!(table.contains("mul1_op"));
+    }
+
+    #[test]
+    fn example2_pipelined_ii2_uses_two_multipliers() {
+        // Paper, Example 2: II=2 → LI=3, two multipliers, same schedule shape.
+        let body = example1();
+        let lib = lib();
+        let schedule = Scheduler::new(&body, &lib, SchedulerConfig::pipelined(clk(), 2, 6))
+            .run()
+            .expect("schedulable");
+        assert_eq!(schedule.cycles_per_iteration(), 2);
+        assert_eq!(schedule.latency, 3, "LI should stay at II+1 = 3");
+        assert_eq!(schedule.desc.resources.count_of_class(&ResourceClass::Multiplier), 2);
+    }
+
+    #[test]
+    fn example3_pipelined_ii1_uses_three_multipliers() {
+        // Paper, Example 3: II=1 → the SCC must fit one state; the scheduler
+        // succeeds after relaxation with 3 multipliers and LI=3.
+        let body = example1();
+        let lib = lib();
+        let schedule = Scheduler::new(&body, &lib, SchedulerConfig::pipelined(clk(), 1, 6))
+            .run()
+            .expect("schedulable");
+        assert_eq!(schedule.cycles_per_iteration(), 1);
+        assert_eq!(schedule.desc.resources.count_of_class(&ResourceClass::Multiplier), 3);
+        assert!(schedule.latency >= 3, "LI must grow beyond 2 (two chained muls do not fit)");
+        // the SCC sits in a single state
+        let scc = &sccs(&body.dfg)[0];
+        let states: HashSet<u32> = scc.ops.iter().map(|&o| schedule.desc.state_of(o)).collect();
+        assert_eq!(states.len(), 1, "SCC must be scheduled within one state at II=1");
+    }
+
+    #[test]
+    fn overconstrained_when_latency_capped_too_low() {
+        let body = example1();
+        let lib = lib();
+        let mut config = SchedulerConfig::sequential(clk(), 1, 1);
+        config.allow_add_resources = false;
+        let err = Scheduler::new(&body, &lib, config).run().unwrap_err();
+        assert!(matches!(err, SchedError::Overconstrained { .. }));
+    }
+
+    #[test]
+    fn moving_average_schedules_sequentially() {
+        let mut cdfg = hls_frontend::elaborate(&designs::moving_average(3, 16)).expect("elab");
+        let body = prepare_innermost_loop(&mut cdfg).expect("prepare");
+        let lib = lib();
+        let schedule = Scheduler::new(&body, &lib, SchedulerConfig::sequential(clk(), 1, 4))
+            .run()
+            .expect("schedulable");
+        assert!(schedule.latency <= 4);
+    }
+
+    #[test]
+    fn fir_filter_pipelines_at_ii1() {
+        // A feed-forward FIR has no recurrence, so II=1 must be achievable
+        // (with enough multipliers).
+        let mut cdfg = hls_frontend::elaborate(&designs::fir_filter(&[3, -5, 7, 9], 16)).expect("elab");
+        let body = prepare_innermost_loop(&mut cdfg).expect("prepare");
+        let lib = lib();
+        let schedule = Scheduler::new(&body, &lib, SchedulerConfig::pipelined(clk(), 1, 12))
+            .run()
+            .expect("schedulable");
+        assert_eq!(schedule.cycles_per_iteration(), 1);
+        assert!(schedule.desc.resources.count_of_class(&ResourceClass::Multiplier) >= 4);
+    }
+
+    #[test]
+    fn separated_flow_reports_worse_slack_than_unified() {
+        let body = example1();
+        let lib = lib();
+        let unified = Scheduler::new(&body, &lib, SchedulerConfig::sequential(clk(), 1, 3))
+            .run()
+            .expect("unified");
+        let separated = schedule_separated(&body, &lib, SchedulerConfig::sequential(clk(), 1, 3))
+            .expect("separated");
+        assert!(
+            separated.min_slack_ps <= unified.min_slack_ps,
+            "separated {} vs unified {}",
+            separated.min_slack_ps,
+            unified.min_slack_ps
+        );
+    }
+
+    #[test]
+    fn tighter_clock_needs_more_states() {
+        let body = example1();
+        let lib = lib();
+        let relaxed = Scheduler::new(&body, &lib, SchedulerConfig::sequential(ClockConstraint::from_period_ps(2600.0), 1, 8))
+            .run()
+            .expect("relaxed clock");
+        let tight = Scheduler::new(&body, &lib, SchedulerConfig::sequential(ClockConstraint::from_period_ps(1250.0), 1, 8))
+            .run()
+            .expect("tight clock");
+        assert!(tight.latency >= relaxed.latency);
+    }
+}

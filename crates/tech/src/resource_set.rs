@@ -1,0 +1,218 @@
+//! Allocated resource instances: the multiset of functional units the
+//! scheduler binds operations onto.
+
+use crate::library::TechLibrary;
+use crate::resource::{ResourceClass, ResourceType};
+use hls_ir::Operation;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of one allocated resource instance within a [`ResourceSet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceInstanceId(pub u32);
+
+impl ResourceInstanceId {
+    /// Raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ResourceInstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One allocated functional unit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourceInstance {
+    /// Identifier within the owning set.
+    pub id: ResourceInstanceId,
+    /// The type of the unit.
+    pub ty: ResourceType,
+    /// Instance name (e.g. `mul1`, `mul2` as in the paper's Example 2).
+    pub name: String,
+}
+
+/// A multiset of allocated resource instances.
+///
+/// The scheduler starts from the lower-bound set computed per Section IV.A
+/// and the relaxation engine may add instances when scheduling fails for lack
+/// of resources.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResourceSet {
+    instances: Vec<ResourceInstance>,
+}
+
+impl ResourceSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an instance of the given type, auto-naming it `<type>#<k>`.
+    pub fn add(&mut self, ty: ResourceType) -> ResourceInstanceId {
+        let id = ResourceInstanceId(self.instances.len() as u32);
+        let ordinal = self.count_of_class(&ty.class) + 1;
+        let name = format!("{}{}", ty.class.mnemonic(), ordinal);
+        self.instances.push(ResourceInstance { id, ty, name });
+        id
+    }
+
+    /// Adds `count` instances of the given type.
+    pub fn add_many(&mut self, ty: ResourceType, count: usize) -> Vec<ResourceInstanceId> {
+        (0..count).map(|_| self.add(ty.clone())).collect()
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Access an instance.
+    ///
+    /// # Panics
+    /// Panics if the id does not belong to this set.
+    pub fn instance(&self, id: ResourceInstanceId) -> &ResourceInstance {
+        &self.instances[id.index()]
+    }
+
+    /// Iterator over all instances.
+    pub fn iter(&self) -> impl Iterator<Item = &ResourceInstance> {
+        self.instances.iter()
+    }
+
+    /// Instances whose type can implement the given operation, in allocation
+    /// order (the scheduler tries them in this order).
+    pub fn compatible_with(&self, op: &Operation) -> Vec<ResourceInstanceId> {
+        self.instances
+            .iter()
+            .filter(|inst| inst.ty.can_implement(op))
+            .map(|inst| inst.id)
+            .collect()
+    }
+
+    /// Number of instances of a given class.
+    pub fn count_of_class(&self, class: &ResourceClass) -> usize {
+        self.instances.iter().filter(|i| &i.ty.class == class).count()
+    }
+
+    /// Number of instances of a given exact type.
+    pub fn count_of_type(&self, ty: &ResourceType) -> usize {
+        self.instances.iter().filter(|i| &i.ty == ty).count()
+    }
+
+    /// Histogram of instance counts per type, in deterministic order.
+    pub fn histogram(&self) -> BTreeMap<ResourceType, usize> {
+        let mut map = BTreeMap::new();
+        for inst in &self.instances {
+            *map.entry(inst.ty.clone()).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Total functional-unit area of the set (excluding sharing muxes and
+    /// registers, which the netlist estimator adds separately).
+    pub fn functional_area(&self, lib: &TechLibrary) -> f64 {
+        self.instances.iter().map(|i| lib.area(&i.ty)).sum()
+    }
+
+    /// A one-line summary such as `1×mul_32x32, 1×add_32x32, 1×gt_32x32`.
+    pub fn summary(&self) -> String {
+        self.histogram()
+            .iter()
+            .map(|(ty, n)| format!("{n}×{ty}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+impl fmt::Display for ResourceSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{OpKind, Signal};
+
+    fn mul32() -> ResourceType {
+        ResourceType::binary(ResourceClass::Multiplier, 32, 32, 32)
+    }
+    fn add32() -> ResourceType {
+        ResourceType::binary(ResourceClass::Adder, 32, 32, 33)
+    }
+
+    #[test]
+    fn add_and_count() {
+        let mut set = ResourceSet::new();
+        set.add(mul32());
+        set.add(mul32());
+        set.add(add32());
+        assert_eq!(set.len(), 3);
+        assert_eq!(set.count_of_class(&ResourceClass::Multiplier), 2);
+        assert_eq!(set.count_of_type(&mul32()), 2);
+        assert_eq!(set.count_of_type(&add32()), 1);
+    }
+
+    #[test]
+    fn instance_names_follow_paper_convention() {
+        let mut set = ResourceSet::new();
+        let a = set.add(mul32());
+        let b = set.add(mul32());
+        assert_eq!(set.instance(a).name, "mul1");
+        assert_eq!(set.instance(b).name, "mul2");
+    }
+
+    #[test]
+    fn compatibility_query() {
+        let mut set = ResourceSet::new();
+        let m = set.add(mul32());
+        set.add(add32());
+        let op = Operation::new(
+            OpKind::Mul,
+            32,
+            vec![Signal::constant(0, 16), Signal::constant(0, 32)],
+        );
+        let compat = set.compatible_with(&op);
+        assert_eq!(compat, vec![m]);
+        let too_wide = Operation::new(
+            OpKind::Mul,
+            64,
+            vec![Signal::constant(0, 64), Signal::constant(0, 64)],
+        );
+        assert!(set.compatible_with(&too_wide).is_empty());
+    }
+
+    #[test]
+    fn functional_area_sums_instances() {
+        let lib = TechLibrary::artisan_90nm_typical();
+        let mut set = ResourceSet::new();
+        set.add(mul32());
+        let one = set.functional_area(&lib);
+        set.add(mul32());
+        let two = set.functional_area(&lib);
+        assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_and_histogram() {
+        let mut set = ResourceSet::new();
+        set.add_many(mul32(), 2);
+        set.add(add32());
+        let hist = set.histogram();
+        assert_eq!(hist[&mul32()], 2);
+        assert_eq!(hist[&add32()], 1);
+        let s = set.summary();
+        assert!(s.contains("2×mul_32x32"));
+        assert!(s.contains("1×add_32x32"));
+    }
+}

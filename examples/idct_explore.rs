@@ -1,0 +1,17 @@
+//! Design-space exploration of the IDCT (Figures 10 and 11): pipelined and
+//! non-pipelined micro-architectures over a clock sweep, with the Pareto
+//! front highlighted.
+use hls::explore::experiments::{idct_exploration, render_points};
+use hls::explore::pareto_front;
+
+fn main() {
+    let points = idct_exploration(&[1300.0, 1600.0, 2100.0, 2600.0]);
+    println!("{}", render_points(&points));
+    println!("Pareto-optimal implementations (delay vs area):");
+    for p in pareto_front(&points) {
+        println!(
+            "  {:26} delay {:7.1} ns  area {:9.0}  power {:8.1} uW",
+            p.label, p.delay_ns, p.area, p.power_uw
+        );
+    }
+}

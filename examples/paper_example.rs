@@ -1,0 +1,31 @@
+//! Reproduces the paper's running example end to end: Table 1 (library),
+//! Table 2 (sequential schedule), Table 3 (micro-architecture comparison) and
+//! the Example 2/3 pipelined schedules.
+use hls::explore::{table1_library, table2_example1_schedule, table3_microarchitectures};
+use hls::{designs, Synthesizer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("TABLE 1 — resource delays (ps)");
+    for (name, delay) in table1_library() {
+        println!("  {name:6} {delay:6.0}");
+    }
+
+    let t2 = table2_example1_schedule();
+    println!("\nTABLE 2 — sequential schedule (latency {}, {} passes)\n{}", t2.latency, t2.passes, t2.table);
+
+    println!("TABLE 3 — micro-architecture comparison");
+    for row in table3_microarchitectures() {
+        println!(
+            "  {:12} {:>2} cycles/iteration  area {:>9.0}  ({} multipliers)",
+            row.name, row.cycles_per_iteration, row.area, row.multipliers
+        );
+    }
+
+    println!("\nExample 2 — pipelined, II = 2");
+    let p2 = Synthesizer::new(designs::paper_example1()).clock_ps(1600.0).latency_bounds(1, 6).pipeline(2).run()?;
+    println!("{}", p2.schedule_table());
+    println!("Example 3 — pipelined, II = 1");
+    let p1 = Synthesizer::new(designs::paper_example1()).clock_ps(1600.0).latency_bounds(1, 6).pipeline(1).run()?;
+    println!("{}", p1.schedule_table());
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Integration tests reproducing the paper's worked examples (Section IV/V).
+use hls::designs;
+use hls::tech::ResourceClass;
+use hls::Synthesizer;
+
+#[test]
+fn example1_sequential_three_states_one_multiplier() {
+    let result = Synthesizer::new(designs::paper_example1())
+        .clock_ps(1600.0)
+        .latency_bounds(1, 3)
+        .run()
+        .expect("Example 1 must synthesize");
+    assert_eq!(result.schedule.latency, 3, "Table 2: three states");
+    assert_eq!(result.schedule.cycles_per_iteration(), 3);
+    assert_eq!(result.schedule.desc.resources.count_of_class(&ResourceClass::Multiplier), 1);
+    // the scheduler needed relaxation: it started from latency 1
+    assert!(result.schedule.passes >= 3, "two add-state relaxations expected");
+}
+
+#[test]
+fn example2_pipelined_ii2_two_multipliers_li3() {
+    let result = Synthesizer::new(designs::paper_example1())
+        .clock_ps(1600.0)
+        .latency_bounds(1, 6)
+        .pipeline(2)
+        .run()
+        .expect("Example 2 must synthesize");
+    let folded = result.pipeline.expect("folded");
+    assert_eq!(folded.ii, 2);
+    assert_eq!(folded.li, 3);
+    assert_eq!(folded.stages, 2);
+    assert_eq!(result.schedule.desc.resources.count_of_class(&ResourceClass::Multiplier), 2);
+}
+
+#[test]
+fn example3_pipelined_ii1_three_multipliers() {
+    let result = Synthesizer::new(designs::paper_example1())
+        .clock_ps(1600.0)
+        .latency_bounds(1, 6)
+        .pipeline(1)
+        .run()
+        .expect("Example 3 must synthesize");
+    let folded = result.pipeline.expect("folded");
+    assert_eq!(folded.ii, 1);
+    assert!(folded.li >= 3, "LI must exceed 2 because two muls cannot chain in one cycle");
+    assert_eq!(result.schedule.desc.resources.count_of_class(&ResourceClass::Multiplier), 3);
+}
+
+#[test]
+fn table3_ordering_sequential_cheapest_ii1_fastest() {
+    let rows = hls::explore::table3_microarchitectures();
+    assert_eq!(rows.len(), 3);
+    assert!(rows[0].area < rows[1].area && rows[1].area < rows[2].area);
+    assert!(rows[0].cycles_per_iteration > rows[1].cycles_per_iteration);
+    assert!(rows[1].cycles_per_iteration > rows[2].cycles_per_iteration);
+}

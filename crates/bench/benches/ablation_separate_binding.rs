@@ -15,13 +15,25 @@ fn bench(c: &mut Criterion) {
     let unified = Scheduler::new(&body, &lib, SchedulerConfig::sequential(clock, 1, 3))
         .run()
         .expect("unified");
-    let separated = schedule_separated(&body, &lib, SchedulerConfig::sequential(clock, 1, 3)).expect("separated");
+    let separated = schedule_separated(&body, &lib, SchedulerConfig::sequential(clock, 1, 3))
+        .expect("separated");
     println!("\nABLATION — unified vs separated scheduling/binding (Example 1):");
-    println!("  unified   : latency {}  worst slack {:+.0} ps", unified.latency, unified.min_slack_ps);
-    println!("  separated : latency {}  worst slack {:+.0} ps", separated.latency, separated.min_slack_ps);
+    println!(
+        "  unified   : latency {}  worst slack {:+.0} ps",
+        unified.latency, unified.min_slack_ps
+    );
+    println!(
+        "  separated : latency {}  worst slack {:+.0} ps",
+        separated.latency, separated.min_slack_ps
+    );
 
-    let modulo = hls::pipeline::modulo_schedule(&body, &lib, 1600.0, 2, 8, |_| 2).expect("modulo baseline");
-    println!("  modulo-scheduling baseline: II {}  latency {}", modulo.ii, modulo.latency());
+    let modulo =
+        hls::pipeline::modulo_schedule(&body, &lib, 1600.0, 2, 8, |_| 2).expect("modulo baseline");
+    println!(
+        "  modulo-scheduling baseline: II {}  latency {}",
+        modulo.ii,
+        modulo.latency()
+    );
 
     c.bench_function("unified_scheduler_example1", |b| {
         b.iter(|| {
@@ -31,7 +43,10 @@ fn bench(c: &mut Criterion) {
         })
     });
     c.bench_function("separated_scheduler_example1", |b| {
-        b.iter(|| schedule_separated(&body, &lib, SchedulerConfig::sequential(clock, 1, 3)).expect("separated"))
+        b.iter(|| {
+            schedule_separated(&body, &lib, SchedulerConfig::sequential(clock, 1, 3))
+                .expect("separated")
+        })
     });
 }
 

@@ -5,11 +5,17 @@ use hls_explore::pareto_front;
 
 fn bench(c: &mut Criterion) {
     let points = hls_explore::figure10_idct_area_delay();
-    println!("\nFIGURE 10 — IDCT area vs delay:\n{}", render_points(&points));
+    println!(
+        "\nFIGURE 10 — IDCT area vs delay:\n{}",
+        render_points(&points)
+    );
     let front = pareto_front(&points);
     println!("Pareto front (delay, area):");
     for p in &front {
-        println!("  {:28} delay {:7.1} ns  area {:9.0}", p.label, p.delay_ns, p.area);
+        println!(
+            "  {:28} delay {:7.1} ns  area {:9.0}",
+            p.label, p.delay_ns, p.area
+        );
     }
     c.bench_function("figure10_idct_two_clock_sweep", |b| {
         b.iter(|| idct_exploration(&[1600.0, 2600.0]))

@@ -10,8 +10,14 @@ fn bench(c: &mut Criterion) {
         println!("  {:28} {:>10.1} {:>12.1}", p.label, p.delay_ns, p.power_uw);
     }
     if let (Some(max), Some(min)) = (
-        points.iter().map(|p| p.power_uw).fold(None::<f64>, |a, v| Some(a.map_or(v, |m| m.max(v)))),
-        points.iter().map(|p| p.power_uw).fold(None::<f64>, |a, v| Some(a.map_or(v, |m| m.min(v)))),
+        points
+            .iter()
+            .map(|p| p.power_uw)
+            .fold(None::<f64>, |a, v| Some(a.map_or(v, |m| m.max(v)))),
+        points
+            .iter()
+            .map(|p| p.power_uw)
+            .fold(None::<f64>, |a, v| Some(a.map_or(v, |m| m.min(v)))),
     ) {
         println!("  power range explored: {:.1}x", max / min.max(1e-9));
     }

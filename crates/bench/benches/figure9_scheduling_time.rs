@@ -5,12 +5,20 @@ use hls_explore::figure9_scheduling_time;
 fn bench(c: &mut Criterion) {
     // 12 designs spanning the 100..2000 op range (a scaled-down version of
     // the paper's 40-design population; sizes grow roughly geometrically).
-    let sizes: Vec<usize> = vec![100, 150, 220, 320, 450, 600, 800, 1000, 1250, 1500, 1750, 2000];
+    let sizes: Vec<usize> = vec![
+        100, 150, 220, 320, 450, 600, 800, 1000, 1250, 1500, 1750, 2000,
+    ];
     let points = figure9_scheduling_time(&sizes);
     println!("\nFIGURE 9 — scheduling time vs design size:");
-    println!("  {:>6} {:>10} {:>8} {:>12}", "ops", "seconds", "latency", "class");
+    println!(
+        "  {:>6} {:>10} {:>8} {:>12}",
+        "ops", "seconds", "latency", "class"
+    );
     for p in &points {
-        println!("  {:>6} {:>10.3} {:>8} {:>12}", p.ops, p.seconds, p.latency, p.class);
+        println!(
+            "  {:>6} {:>10.3} {:>8} {:>12}",
+            p.ops, p.seconds, p.latency, p.class
+        );
     }
     c.bench_function("figure9_small_design_scheduling", |b| {
         b.iter(|| figure9_scheduling_time(&[150, 300]))

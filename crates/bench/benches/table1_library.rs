@@ -8,7 +8,9 @@ fn bench(c: &mut Criterion) {
     for (name, delay) in &rows {
         println!("  {name:6} {delay:7.0}");
     }
-    c.bench_function("table1_library_characterization", |b| b.iter(table1_library));
+    c.bench_function("table1_library_characterization", |b| {
+        b.iter(table1_library)
+    });
 }
 
 criterion_group! {

@@ -4,8 +4,13 @@ use hls_explore::table2_example1_schedule;
 
 fn bench(c: &mut Criterion) {
     let t2 = table2_example1_schedule();
-    println!("\nTABLE 2 — Example 1 sequential schedule (latency {}):\n{}", t2.latency, t2.table);
-    c.bench_function("table2_example1_schedule", |b| b.iter(table2_example1_schedule));
+    println!(
+        "\nTABLE 2 — Example 1 sequential schedule (latency {}):\n{}",
+        t2.latency, t2.table
+    );
+    c.bench_function("table2_example1_schedule", |b| {
+        b.iter(table2_example1_schedule)
+    });
 }
 
 criterion_group! {

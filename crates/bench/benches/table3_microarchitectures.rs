@@ -5,11 +5,19 @@ use hls_explore::table3_microarchitectures;
 fn bench(c: &mut Criterion) {
     let rows = table3_microarchitectures();
     println!("\nTABLE 3 — micro-architecture comparison:");
-    println!("  {:12} {:>18} {:>10} {:>5}", "arch", "cycles/iteration", "area", "muls");
+    println!(
+        "  {:12} {:>18} {:>10} {:>5}",
+        "arch", "cycles/iteration", "area", "muls"
+    );
     for r in &rows {
-        println!("  {:12} {:>18} {:>10.0} {:>5}", r.name, r.cycles_per_iteration, r.area, r.multipliers);
+        println!(
+            "  {:12} {:>18} {:>10.0} {:>5}",
+            r.name, r.cycles_per_iteration, r.area, r.multipliers
+        );
     }
-    c.bench_function("table3_microarchitectures", |b| b.iter(table3_microarchitectures));
+    c.bench_function("table3_microarchitectures", |b| {
+        b.iter(table3_microarchitectures)
+    });
 }
 
 criterion_group! {

@@ -149,7 +149,15 @@ impl Synthesizer {
 
     /// Starts a synthesis run from an already-linearized loop body.
     pub fn from_body(body: LinearBody) -> BodySynthesizer {
-        BodySynthesizer { body, inner: Synthesizer::new(Behavior { name: String::new(), ports: vec![], vars: vec![], body: vec![] }) }
+        BodySynthesizer {
+            body,
+            inner: Synthesizer::new(Behavior {
+                name: String::new(),
+                ports: vec![],
+                vars: vec![],
+                body: vec![],
+            }),
+        }
     }
 
     /// Sets the clock period in picoseconds (default 1600 ps, the paper's
@@ -236,7 +244,8 @@ impl Synthesizer {
             None => None,
         };
         let slack_fraction = (schedule.min_slack_ps / clock.period_ps()).clamp(0.0, 0.9);
-        let dp = Datapath::from_schedule(&body, &schedule.desc, &self.library, clock, slack_fraction);
+        let dp =
+            Datapath::from_schedule(&body, &schedule.desc, &self.library, clock, slack_fraction);
         let rtl = emit_rtl(&body, &schedule.desc, RtlOptions { annotate: true });
         Ok(SynthesisResult {
             body,

@@ -30,7 +30,11 @@ pub enum DesignClass {
 impl DesignClass {
     /// All classes, used to round-robin design generation.
     pub fn all() -> [DesignClass; 3] {
-        [DesignClass::Filter, DesignClass::Fft, DesignClass::ImageKernel]
+        [
+            DesignClass::Filter,
+            DesignClass::Fft,
+            DesignClass::ImageKernel,
+        ]
     }
 }
 
@@ -66,7 +70,11 @@ pub fn synthetic_design(class: DesignClass, target_ops: usize, seed: u64) -> Lin
     let mut accumulators = Vec::new();
     for _ in 0..n_accs {
         let src = frontier[rng.gen_range(0..frontier.len())];
-        let acc = dfg.add_op(OpKind::Add, 2 * width, vec![src, Signal::constant(0, 2 * width)]);
+        let acc = dfg.add_op(
+            OpKind::Add,
+            2 * width,
+            vec![src, Signal::constant(0, 2 * width)],
+        );
         dfg.op_mut(acc).inputs[1] = Signal::carried(acc, 2 * width, 1);
         accumulators.push(acc);
         frontier.push(Signal::op_w(acc, 2 * width));
@@ -146,7 +154,7 @@ pub fn idct8_design() -> LinearBody {
     const C7: i64 = 565;
     const SQRT2: i64 = 181;
 
-    let mut mul = |dfg: &mut Dfg, a: Signal, c: i64| -> Signal {
+    let mul = |dfg: &mut Dfg, a: Signal, c: i64| -> Signal {
         let m = dfg.add_op(OpKind::Mul, ww, vec![a, Signal::constant(c, 13)]);
         Signal::op_w(m, ww)
     };
@@ -157,7 +165,10 @@ pub fn idct8_design() -> LinearBody {
         Signal::op_w(dfg.add_op(OpKind::Sub, ww, vec![a, b]), ww)
     };
     let shr = |dfg: &mut Dfg, a: Signal, k: i64| -> Signal {
-        Signal::op_w(dfg.add_op(OpKind::Shr, ww, vec![a, Signal::constant(k, 5)]), ww)
+        Signal::op_w(
+            dfg.add_op(OpKind::Shr, ww, vec![a, Signal::constant(k, 5)]),
+            ww,
+        )
     };
 
     // even part
@@ -258,8 +269,16 @@ mod tests {
         assert_eq!(hist.get("mul").copied().unwrap_or(0), 9, "{hist:?}");
         assert!(hist.get("add").copied().unwrap_or(0) >= 10);
         assert!(hist.get("sub").copied().unwrap_or(0) >= 10);
-        let reads = body.dfg.iter_ops().filter(|(_, o)| matches!(o.kind, OpKind::Read(_))).count();
-        let writes = body.dfg.iter_ops().filter(|(_, o)| matches!(o.kind, OpKind::Write(_))).count();
+        let reads = body
+            .dfg
+            .iter_ops()
+            .filter(|(_, o)| matches!(o.kind, OpKind::Read(_)))
+            .count();
+        let writes = body
+            .dfg
+            .iter_ops()
+            .filter(|(_, o)| matches!(o.kind, OpKind::Write(_)))
+            .count();
         assert_eq!(reads, 8);
         assert_eq!(writes, 8);
         // purely feed-forward: no SCC, so any II is reachable with enough hw

@@ -68,8 +68,11 @@ pub struct Table2Result {
 pub fn table2_example1_schedule() -> Table2Result {
     let body = example1_body();
     let lib = TechLibrary::artisan_90nm_typical();
-    let config = SchedulerConfig::sequential(ClockConstraint::from_period_ps(EXAMPLE_CLOCK_PS), 1, 3);
-    let schedule = Scheduler::new(&body, &lib, config).run().expect("example 1 schedules");
+    let config =
+        SchedulerConfig::sequential(ClockConstraint::from_period_ps(EXAMPLE_CLOCK_PS), 1, 3);
+    let schedule = Scheduler::new(&body, &lib, config)
+        .run()
+        .expect("example 1 schedules");
     let mut mul_states = Vec::new();
     for (id, op) in body.dfg.iter_ops() {
         let name = op.display_name();
@@ -81,7 +84,10 @@ pub fn table2_example1_schedule() -> Table2Result {
     Table2Result {
         latency: schedule.latency,
         passes: schedule.passes,
-        multipliers: schedule.desc.resources.count_of_class(&ResourceClass::Multiplier),
+        multipliers: schedule
+            .desc
+            .resources
+            .count_of_class(&ResourceClass::Multiplier),
         mul_states,
         table: schedule.table(&body),
     }
@@ -111,9 +117,18 @@ pub fn table3_microarchitectures() -> Vec<Table3Row> {
     let lib = TechLibrary::artisan_90nm_typical();
     let clock = ClockConstraint::from_period_ps(EXAMPLE_CLOCK_PS);
     let configs = vec![
-        ("Sequential".to_string(), SchedulerConfig::sequential(clock, 1, 3)),
-        ("Pipe II=2".to_string(), SchedulerConfig::pipelined(clock, 2, 6)),
-        ("Pipe II=1".to_string(), SchedulerConfig::pipelined(clock, 1, 6)),
+        (
+            "Sequential".to_string(),
+            SchedulerConfig::sequential(clock, 1, 3),
+        ),
+        (
+            "Pipe II=2".to_string(),
+            SchedulerConfig::pipelined(clock, 2, 6),
+        ),
+        (
+            "Pipe II=1".to_string(),
+            SchedulerConfig::pipelined(clock, 1, 6),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, config) in configs {
@@ -122,7 +137,10 @@ pub fn table3_microarchitectures() -> Vec<Table3Row> {
                 name,
                 cycles_per_iteration: schedule.cycles_per_iteration(),
                 area: dp.total_area(),
-                multipliers: schedule.desc.resources.count_of_class(&ResourceClass::Multiplier),
+                multipliers: schedule
+                    .desc
+                    .resources
+                    .count_of_class(&ResourceClass::Multiplier),
             });
         }
     }
@@ -162,7 +180,8 @@ pub fn table4_scc_move_ablation(num_designs: usize, ops_per_design: usize) -> Ta
         let Some((_, dp_without)) = schedule_and_estimate(&body, &lib, without_move) else {
             continue;
         };
-        let penalty = (dp_without.total_area() - dp_with.total_area()) / dp_with.total_area() * 100.0;
+        let penalty =
+            (dp_without.total_area() - dp_with.total_area()) / dp_with.total_area() * 100.0;
         measured.push((sched_with.min_slack_ps, penalty.max(0.0)));
     }
     // the paper examines the most timing-critical designs
@@ -173,7 +192,10 @@ pub fn table4_scc_move_ablation(num_designs: usize, ops_per_design: usize) -> Ta
     } else {
         penalties.iter().sum::<f64>() / penalties.len() as f64
     };
-    Table4Result { penalties_percent: penalties, average_percent: average }
+    Table4Result {
+        penalties_percent: penalties,
+        average_percent: average,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -293,7 +315,14 @@ pub fn render_points(points: &[ExplorationPoint]) -> String {
     for p in points {
         out.push_str(&format!(
             "{},{},{:.2},{:.0},{:.1},{:.0},{},{}\n",
-            p.family, p.label, p.delay_ns, p.area, p.power_uw, p.clock_ps, p.latency_cycles, p.ii_cycles
+            p.family,
+            p.label,
+            p.delay_ns,
+            p.area,
+            p.power_uw,
+            p.clock_ps,
+            p.latency_cycles,
+            p.ii_cycles
         ));
     }
     out
@@ -344,14 +373,23 @@ mod tests {
         let points = figure9_scheduling_time(&[120, 240, 400]);
         assert_eq!(points.len(), 3);
         for p in &points {
-            assert!(p.seconds < 60.0, "scheduling {} ops took {}s", p.ops, p.seconds);
+            assert!(
+                p.seconds < 60.0,
+                "scheduling {} ops took {}s",
+                p.ops,
+                p.seconds
+            );
         }
     }
 
     #[test]
     fn idct_exploration_pipelining_extends_the_pareto_front() {
         let points = idct_exploration(&[1600.0, 2600.0]);
-        assert!(points.len() >= 8, "expected a populated sweep, got {}", points.len());
+        assert!(
+            points.len() >= 8,
+            "expected a populated sweep, got {}",
+            points.len()
+        );
         let front = pareto_front(&points);
         assert!(
             front.iter().any(|p| p.family.starts_with("Pipelined")),

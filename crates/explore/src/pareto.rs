@@ -36,7 +36,11 @@ pub fn pareto_front(points: &[ExplorationPoint]) -> Vec<ExplorationPoint> {
             front.push(p.clone());
         }
     }
-    front.sort_by(|a, b| a.delay_ns.partial_cmp(&b.delay_ns).unwrap_or(std::cmp::Ordering::Equal));
+    front.sort_by(|a, b| {
+        a.delay_ns
+            .partial_cmp(&b.delay_ns)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     front.dedup_by(|a, b| a.delay_ns == b.delay_ns && a.area == b.area);
     front
 }
@@ -60,7 +64,12 @@ mod tests {
 
     #[test]
     fn dominated_points_are_removed() {
-        let points = vec![pt("a", 1.0, 10.0), pt("b", 2.0, 5.0), pt("c", 2.0, 12.0), pt("d", 3.0, 20.0)];
+        let points = vec![
+            pt("a", 1.0, 10.0),
+            pt("b", 2.0, 5.0),
+            pt("c", 2.0, 12.0),
+            pt("d", 3.0, 20.0),
+        ];
         let front = pareto_front(&points);
         let labels: Vec<_> = front.iter().map(|p| p.label.as_str()).collect();
         assert_eq!(labels, vec!["a", "b"]);
@@ -73,8 +82,48 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_points_collapse_to_one_front_entry() {
+        // Exact duplicates do not dominate each other (neither is strictly
+        // better), so both survive dominance filtering; the front must still
+        // report the (delay, area) coordinate only once.
+        let points = vec![
+            pt("a", 1.0, 10.0),
+            pt("a_dup", 1.0, 10.0),
+            pt("b", 2.0, 5.0),
+        ];
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 2);
+        let coords: Vec<_> = front.iter().map(|p| (p.delay_ns, p.area)).collect();
+        assert_eq!(coords, vec![(1.0, 10.0), (2.0, 5.0)]);
+    }
+
+    #[test]
+    fn all_identical_points_yield_a_single_entry() {
+        let points = vec![pt("x", 3.0, 3.0), pt("y", 3.0, 3.0), pt("z", 3.0, 3.0)];
+        assert_eq!(pareto_front(&points).len(), 1);
+    }
+
+    #[test]
+    fn equal_coordinate_dominance_is_strict() {
+        // Same delay, worse area: dominated. Same delay, same area: kept.
+        let points = vec![pt("good", 1.0, 5.0), pt("worse_area", 1.0, 7.0)];
+        let front = pareto_front(&points);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].label, "good");
+    }
+
+    #[test]
+    fn empty_input_gives_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
     fn front_is_sorted_by_delay() {
-        let points = vec![pt("slow", 9.0, 1.0), pt("fast", 1.0, 9.0), pt("mid", 5.0, 5.0)];
+        let points = vec![
+            pt("slow", 9.0, 1.0),
+            pt("fast", 1.0, 9.0),
+            pt("mid", 5.0, 5.0),
+        ];
         let front = pareto_front(&points);
         assert!(front.windows(2).all(|w| w[0].delay_ns <= w[1].delay_ns));
         assert_eq!(front.len(), 3);

@@ -89,6 +89,10 @@ pub enum Expr {
     },
 }
 
+// The constructors below are free associated functions (no `self`), not
+// operator implementations; the std-ops names are kept because they read as
+// the operation they build.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Convenience constructor for `a + b`.
     pub fn add(a: Expr, b: Expr) -> Expr {
@@ -193,7 +197,11 @@ impl Stmt {
             Stmt::Assign { value, .. } => value.op_count(),
             Stmt::WritePort { value, .. } => 1 + value.op_count(),
             Stmt::Wait => 0,
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 cond.op_count()
                     + then_body.iter().map(Stmt::op_count).sum::<usize>()
                     + else_body.iter().map(Stmt::op_count).sum::<usize>()
@@ -210,7 +218,11 @@ impl Stmt {
         match self {
             Stmt::Wait => 1,
             Stmt::Assign { .. } | Stmt::WritePort { .. } => 0,
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 then_body.iter().map(Stmt::wait_count).sum::<usize>()
                     + else_body.iter().map(Stmt::wait_count).sum::<usize>()
             }
@@ -294,7 +306,10 @@ mod tests {
 
     #[test]
     fn expr_builders_and_op_count() {
-        let e = Expr::mul(Expr::Port("a".into()), Expr::add(Expr::Var(VarId(0)), Expr::Const(1)));
+        let e = Expr::mul(
+            Expr::Port("a".into()),
+            Expr::add(Expr::Var(VarId(0)), Expr::Const(1)),
+        );
         assert_eq!(e.op_count(), 2);
         let s = Expr::select(
             Expr::cmp(CmpKind::Gt, Expr::Var(VarId(0)), Expr::Const(3)),
@@ -307,15 +322,26 @@ mod tests {
     #[test]
     fn stmt_counts() {
         let body = vec![
-            Stmt::Assign { var: VarId(0), value: Expr::add(Expr::Const(1), Expr::Const(2)) },
+            Stmt::Assign {
+                var: VarId(0),
+                value: Expr::add(Expr::Const(1), Expr::Const(2)),
+            },
             Stmt::Wait,
             Stmt::If {
                 cond: Expr::cmp(CmpKind::Ne, Expr::Var(VarId(0)), Expr::Const(0)),
-                then_body: vec![Stmt::WritePort { port: "y".into(), value: Expr::Var(VarId(0)) }],
+                then_body: vec![Stmt::WritePort {
+                    port: "y".into(),
+                    value: Expr::Var(VarId(0)),
+                }],
                 else_body: vec![],
             },
         ];
-        let loop_stmt = Stmt::Loop { kind: LoopKind::Infinite, body, cond: None, label: None };
+        let loop_stmt = Stmt::Loop {
+            kind: LoopKind::Infinite,
+            body,
+            cond: None,
+            label: None,
+        };
         assert_eq!(loop_stmt.wait_count(), 1);
         assert_eq!(loop_stmt.op_count(), 1 + 1 + 1);
     }
@@ -324,8 +350,16 @@ mod tests {
     fn behavior_lookup() {
         let b = Behavior {
             name: "m".into(),
-            ports: vec![PortDecl { name: "x".into(), direction: PortDirection::Input, width: 8 }],
-            vars: vec![VarDecl { name: "acc".into(), width: 16, init: 0 }],
+            ports: vec![PortDecl {
+                name: "x".into(),
+                direction: PortDirection::Input,
+                width: 8,
+            }],
+            vars: vec![VarDecl {
+                name: "acc".into(),
+                width: 16,
+                init: 0,
+            }],
             body: vec![],
         };
         assert!(b.port("x").is_some());

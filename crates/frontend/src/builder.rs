@@ -36,26 +36,43 @@ pub struct BehaviorBuilder {
 impl BehaviorBuilder {
     /// Starts a new behaviour with the given module name.
     pub fn new(name: impl Into<String>) -> Self {
-        BehaviorBuilder { name: name.into(), ports: Vec::new(), vars: Vec::new(), body: Vec::new() }
+        BehaviorBuilder {
+            name: name.into(),
+            ports: Vec::new(),
+            vars: Vec::new(),
+            body: Vec::new(),
+        }
     }
 
     /// Declares an input port.
     pub fn port_in(&mut self, name: impl Into<String>, width: u16) -> String {
         let name = name.into();
-        self.ports.push(PortDecl { name: name.clone(), direction: PortDirection::Input, width });
+        self.ports.push(PortDecl {
+            name: name.clone(),
+            direction: PortDirection::Input,
+            width,
+        });
         name
     }
 
     /// Declares an output port.
     pub fn port_out(&mut self, name: impl Into<String>, width: u16) -> String {
         let name = name.into();
-        self.ports.push(PortDecl { name: name.clone(), direction: PortDirection::Output, width });
+        self.ports.push(PortDecl {
+            name: name.clone(),
+            direction: PortDirection::Output,
+            width,
+        });
         name
     }
 
     /// Declares a local variable with an initial value and returns its id.
     pub fn var(&mut self, name: impl Into<String>, width: u16, init: i64) -> VarId {
-        self.vars.push(VarDecl { name: name.into(), width, init });
+        self.vars.push(VarDecl {
+            name: name.into(),
+            width,
+            init,
+        });
         VarId((self.vars.len() - 1) as u32)
     }
 
@@ -76,7 +93,10 @@ impl BehaviorBuilder {
 
     /// Statement writing an output port.
     pub fn write_port(&self, port: impl Into<String>, value: Expr) -> Stmt {
-        Stmt::WritePort { port: port.into(), value }
+        Stmt::WritePort {
+            port: port.into(),
+            value,
+        }
     }
 
     /// Statement `wait()`.
@@ -86,22 +106,40 @@ impl BehaviorBuilder {
 
     /// Statement `if (cond) { then_body }`.
     pub fn if_then(&self, cond: Expr, then_body: Vec<Stmt>) -> Stmt {
-        Stmt::If { cond, then_body, else_body: Vec::new() }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body: Vec::new(),
+        }
     }
 
     /// Statement `if (cond) { then_body } else { else_body }`.
     pub fn if_then_else(&self, cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt>) -> Stmt {
-        Stmt::If { cond, then_body, else_body }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        }
     }
 
     /// Statement `do { body } while (cond)` with a loop label.
     pub fn do_while(&self, label: impl Into<String>, body: Vec<Stmt>, cond: Expr) -> Stmt {
-        Stmt::Loop { kind: LoopKind::DoWhile, body, cond: Some(cond), label: Some(label.into()) }
+        Stmt::Loop {
+            kind: LoopKind::DoWhile,
+            body,
+            cond: Some(cond),
+            label: Some(label.into()),
+        }
     }
 
     /// Statement `while (cond) { body }` with a loop label.
     pub fn while_loop(&self, label: impl Into<String>, cond: Expr, body: Vec<Stmt>) -> Stmt {
-        Stmt::Loop { kind: LoopKind::While, body, cond: Some(cond), label: Some(label.into()) }
+        Stmt::Loop {
+            kind: LoopKind::While,
+            body,
+            cond: Some(cond),
+            label: Some(label.into()),
+        }
     }
 
     /// Appends a statement to the top-level thread body.
@@ -113,7 +151,12 @@ impl BehaviorBuilder {
     /// Wraps the given statements in the thread's outer `while(true)` loop and
     /// appends it to the body (the usual SystemC thread shape).
     pub fn infinite_loop(&mut self, body: Vec<Stmt>) -> &mut Self {
-        self.body.push(Stmt::Loop { kind: LoopKind::Infinite, body, cond: None, label: Some("thread".into()) });
+        self.body.push(Stmt::Loop {
+            kind: LoopKind::Infinite,
+            body,
+            cond: None,
+            label: Some("thread".into()),
+        });
         self
     }
 
@@ -165,7 +208,11 @@ mod tests {
             ),
             b.wait(),
         ];
-        let loop_stmt = b.do_while("main", inner, Expr::cmp(CmpKind::Ne, b.read_var(v), Expr::Const(0)));
+        let loop_stmt = b.do_while(
+            "main",
+            inner,
+            Expr::cmp(CmpKind::Ne, b.read_var(v), Expr::Const(0)),
+        );
         b.push(loop_stmt);
         let behavior = b.build();
         assert_eq!(behavior.body.len(), 1);

@@ -133,7 +133,11 @@ pub fn fir_filter(taps: &[i64], width: u16) -> Behavior {
         body.push(b.assign(delays[i], b.read_var(delays[i - 1])));
     }
     body.push(b.wait());
-    let l = b.do_while("fir_loop", body, Expr::cmp(CmpKind::Ne, b.read_port("sample"), Expr::Const(0)));
+    let l = b.do_while(
+        "fir_loop",
+        body,
+        Expr::cmp(CmpKind::Ne, b.read_port("sample"), Expr::Const(0)),
+    );
     b.infinite_loop(vec![l]);
     b.build()
 }
@@ -150,13 +154,20 @@ pub fn moving_average(shift: i64, width: u16) -> Behavior {
             avg,
             Expr::add(
                 b.read_var(avg),
-                Expr::shr(Expr::sub(b.read_port("sample"), b.read_var(avg)), Expr::Const(shift)),
+                Expr::shr(
+                    Expr::sub(b.read_port("sample"), b.read_var(avg)),
+                    Expr::Const(shift),
+                ),
             ),
         ),
         b.write_port("avg_out", b.read_var(avg)),
         b.wait(),
     ];
-    let l = b.do_while("ema_loop", body, Expr::cmp(CmpKind::Ne, b.read_port("sample"), Expr::Const(0)));
+    let l = b.do_while(
+        "ema_loop",
+        body,
+        Expr::cmp(CmpKind::Ne, b.read_port("sample"), Expr::Const(0)),
+    );
     b.infinite_loop(vec![l]);
     b.build()
 }
@@ -193,7 +204,10 @@ mod tests {
             .map(|&id| cdfg.dfg.op(id).display_name())
             .collect();
         for expected in ["loopMux", "add_op", "mul2_op", "MUX", "gt_op"] {
-            assert!(names.contains(&expected.to_string()), "missing {expected} in {names:?}");
+            assert!(
+                names.contains(&expected.to_string()),
+                "missing {expected} in {names:?}"
+            );
         }
         // mul1 (mask*chrome) and mul3 (aver*filt) are not on the recurrence
         assert!(!names.contains(&"mul1_op".to_string()));
@@ -203,8 +217,14 @@ mod tests {
     #[test]
     fn example1_renames_follow_paper() {
         let cdfg = paper_example1_cdfg().expect("elaboration");
-        let names: Vec<String> = cdfg.dfg.iter_ops().map(|(_, op)| op.display_name()).collect();
-        for expected in ["mul1_op", "mul2_op", "mul3_op", "add_op", "gt_op", "neq_op", "loopMux"] {
+        let names: Vec<String> = cdfg
+            .dfg
+            .iter_ops()
+            .map(|(_, op)| op.display_name())
+            .collect();
+        for expected in [
+            "mul1_op", "mul2_op", "mul3_op", "add_op", "gt_op", "neq_op", "loopMux",
+        ] {
             assert!(names.contains(&expected.to_string()), "missing {expected}");
         }
     }
@@ -226,7 +246,10 @@ mod tests {
             .count();
         // z1..z3 are carried across inner-loop iterations (and, conservatively,
         // across the outer thread loop as well)
-        assert!(loop_muxes >= 3, "expected at least 3 loop muxes, found {loop_muxes}");
+        assert!(
+            loop_muxes >= 3,
+            "expected at least 3 loop muxes, found {loop_muxes}"
+        );
     }
 
     #[test]

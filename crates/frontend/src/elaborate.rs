@@ -16,8 +16,8 @@
 use crate::ast::{Behavior, BinOp, Expr, LoopKind, Stmt, VarId};
 use crate::error::FrontendError;
 use hls_ir::{
-    Cdfg, CfgEdgeId, CfgNodeId, CfgNodeKind, CmpKind, LoopId, LoopInfo, OpId, OpKind, PortDirection,
-    PortId, Signal,
+    Cdfg, CfgEdgeId, CfgNodeId, CfgNodeKind, CmpKind, LoopId, LoopInfo, OpId, OpKind,
+    PortDirection, PortId, Signal,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -56,7 +56,9 @@ impl<'a> Elaborator<'a> {
         let mut cdfg = Cdfg::new(behavior.name.clone());
         let mut ports = HashMap::new();
         for decl in &behavior.ports {
-            let id = cdfg.dfg.add_port(decl.name.clone(), decl.direction, decl.width);
+            let id = cdfg
+                .dfg
+                .add_port(decl.name.clone(), decl.direction, decl.width);
             ports.insert(decl.name.clone(), (id, decl.direction, decl.width));
         }
         let env = behavior
@@ -126,14 +128,18 @@ impl<'a> Elaborator<'a> {
         self.ports
             .get(name)
             .copied()
-            .ok_or_else(|| FrontendError::UnknownPort { name: name.to_string() })
+            .ok_or_else(|| FrontendError::UnknownPort {
+                name: name.to_string(),
+            })
     }
 
     fn var_signal(&self, var: VarId) -> Result<Signal, FrontendError> {
         self.env
             .get(var.index())
             .copied()
-            .ok_or_else(|| FrontendError::UnknownVar { name: var.to_string() })
+            .ok_or_else(|| FrontendError::UnknownVar {
+                name: var.to_string(),
+            })
     }
 
     /// Elaborates an expression and returns the signal carrying its value.
@@ -146,7 +152,8 @@ impl<'a> Elaborator<'a> {
                 if dir != PortDirection::Input {
                     return Err(FrontendError::PortDirection { name: name.clone() });
                 }
-                let op = self.add_named_op(&format!("{name}_read"), OpKind::Read(pid), width, vec![]);
+                let op =
+                    self.add_named_op(&format!("{name}_read"), OpKind::Read(pid), width, vec![]);
                 Ok(Signal::op_w(op, width))
             }
             Expr::Binary(op, a, b) => {
@@ -198,14 +205,21 @@ impl<'a> Elaborator<'a> {
                 let id = self.add_op(OpKind::Slice { hi: *hi, lo: *lo }, width, vec![sv]);
                 Ok(Signal::op_w(id, width))
             }
-            Expr::Call { name, args, latency } => {
+            Expr::Call {
+                name,
+                args,
+                latency,
+            } => {
                 let mut inputs = Vec::new();
                 for a in args {
                     inputs.push(self.expr(a)?);
                 }
                 let width = inputs.iter().map(|s| s.width).max().unwrap_or(32);
                 let id = self.add_op(
-                    OpKind::Call { name: name.clone(), latency: *latency },
+                    OpKind::Call {
+                        name: name.clone(),
+                        latency: *latency,
+                    },
                     width,
                     inputs,
                 );
@@ -220,7 +234,11 @@ impl<'a> Elaborator<'a> {
     fn materialize_condition(&mut self, sig: Signal) -> OpId {
         match sig.producer() {
             Some(op) if sig.distance == 0 => op,
-            _ => self.add_op(OpKind::Cmp(CmpKind::Ne), 1, vec![sig, Signal::constant(0, sig.width)]),
+            _ => self.add_op(
+                OpKind::Cmp(CmpKind::Ne),
+                1,
+                vec![sig, Signal::constant(0, sig.width)],
+            ),
         }
     }
 
@@ -236,9 +254,23 @@ impl<'a> Elaborator<'a> {
             Stmt::Assign { var, value } => {
                 let sig = self.expr(value)?;
                 let decl_width = self.behavior.var(*var).width;
-                let sig = Signal { width: sig.width.min(decl_width.max(sig.width)), ..sig };
+                // Assigning a wider expression to a narrower variable
+                // truncates. Materialize the truncation as a free `Resize`
+                // op so the IR, the estimators and the emitted RTL agree on
+                // the value's width; constants just narrow in place.
+                let sig = if sig.width > decl_width && sig.producer().is_some() {
+                    let r = self.add_op(OpKind::Resize, decl_width, vec![sig]);
+                    Signal::op_w(r, decl_width)
+                } else {
+                    Signal {
+                        width: sig.width.min(decl_width),
+                        ..sig
+                    }
+                };
                 if var.index() >= self.env.len() {
-                    return Err(FrontendError::UnknownVar { name: var.to_string() });
+                    return Err(FrontendError::UnknownVar {
+                        name: var.to_string(),
+                    });
                 }
                 self.env[var.index()] = sig;
                 Ok(())
@@ -249,7 +281,12 @@ impl<'a> Elaborator<'a> {
                     return Err(FrontendError::PortDirection { name: port.clone() });
                 }
                 let sig = self.expr(value)?;
-                self.add_named_op(&format!("{port}_write"), OpKind::Write(pid), width, vec![sig]);
+                self.add_named_op(
+                    &format!("{port}_write"),
+                    OpKind::Write(pid),
+                    width,
+                    vec![sig],
+                );
                 Ok(())
             }
             Stmt::Wait => {
@@ -257,8 +294,17 @@ impl<'a> Elaborator<'a> {
                 self.flush_to(node);
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body } => self.if_stmt(cond, then_body, else_body),
-            Stmt::Loop { kind, body, cond, label } => self.loop_stmt(*kind, body, cond.as_ref(), label.as_deref()),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => self.if_stmt(cond, then_body, else_body),
+            Stmt::Loop {
+                kind,
+                body,
+                cond,
+                label,
+            } => self.loop_stmt(*kind, body, cond.as_ref(), label.as_deref()),
         }
     }
 
@@ -328,7 +374,9 @@ impl<'a> Elaborator<'a> {
     ) -> Result<(), FrontendError> {
         let loop_id = LoopId::from_raw(self.next_loop_id);
         self.next_loop_id += 1;
-        let label = label.map(|s| s.to_string()).unwrap_or_else(|| format!("loop{}", loop_id.index()));
+        let label = label
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| format!("loop{}", loop_id.index()));
 
         let top = self.cdfg.cfg.add_node(CfgNodeKind::LoopTop { loop_id });
         self.flush_to(top);
@@ -413,7 +461,10 @@ impl<'a> Elaborator<'a> {
                 Some(producer) => Signal::carried(producer, end_val.width, end_val.distance + 1),
                 None => end_val,
             };
-            self.cdfg.dfg.op_mut(mux).inputs[2] = Signal { width: carried_sig.width.min(width.max(carried_sig.width)), ..carried_sig };
+            self.cdfg.dfg.op_mut(mux).inputs[2] = Signal {
+                width: carried_sig.width.min(width),
+                ..carried_sig
+            };
         }
 
         // Record the loop body edges: every forward edge created while the
@@ -449,7 +500,11 @@ fn scan_stmts(stmts: &[Stmt], assigned: &mut HashSet<VarId>, exposed: &mut HashS
             }
             Stmt::WritePort { value, .. } => scan_expr(value, assigned, exposed),
             Stmt::Wait => {}
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 scan_expr(cond, assigned, exposed);
                 let mut assigned_then = assigned.clone();
                 let mut assigned_else = assigned.clone();
@@ -469,7 +524,7 @@ fn scan_stmts(stmts: &[Stmt], assigned: &mut HashSet<VarId>, exposed: &mut HashS
                 let mut inner_assigned = assigned.clone();
                 scan_stmts(body, &mut inner_assigned, exposed);
                 if let Some(c) = cond {
-                    scan_expr(c, &mut inner_assigned, exposed);
+                    scan_expr(c, &inner_assigned, exposed);
                 }
             }
         }
@@ -519,7 +574,11 @@ mod tests {
             b.write_port("y", b.read_var(acc)),
             b.wait(),
         ];
-        let inner = b.do_while("main", body, Expr::cmp(CmpKind::Ne, b.read_var(acc), Expr::Const(0)));
+        let inner = b.do_while(
+            "main",
+            body,
+            Expr::cmp(CmpKind::Ne, b.read_var(acc), Expr::Const(0)),
+        );
         b.push(inner);
         b.build()
     }
@@ -543,7 +602,9 @@ mod tests {
     #[test]
     fn upward_exposed_detects_read_before_write() {
         let behavior = accumulator_behavior();
-        let Stmt::Loop { body, .. } = &behavior.body[0] else { panic!("expected loop") };
+        let Stmt::Loop { body, .. } = &behavior.body[0] else {
+            panic!("expected loop")
+        };
         let exposed = upward_exposed_vars(body);
         assert!(exposed.contains(&VarId(0)), "acc is read before written");
     }
@@ -559,7 +620,11 @@ mod tests {
             b.write_port("y", b.read_var(tmp)),
             b.wait(),
         ];
-        let l = b.do_while("main", body, Expr::cmp(CmpKind::Ne, b.read_var(tmp), Expr::Const(0)));
+        let l = b.do_while(
+            "main",
+            body,
+            Expr::cmp(CmpKind::Ne, b.read_var(tmp), Expr::Const(0)),
+        );
         b.push(l);
         let cdfg = elaborate(&b.build()).expect("elaboration");
         // no loop mux, no SCC
@@ -587,7 +652,11 @@ mod tests {
             b.write_port("y", b.read_var(v)),
             b.wait(),
         ];
-        let l = b.do_while("main", body, Expr::cmp(CmpKind::Ne, b.read_var(v), Expr::Const(0)));
+        let l = b.do_while(
+            "main",
+            body,
+            Expr::cmp(CmpKind::Ne, b.read_var(v), Expr::Const(0)),
+        );
         b.push(l);
         let cdfg = elaborate(&b.build()).expect("elaboration");
         let forks = cdfg
@@ -617,7 +686,11 @@ mod tests {
             ),
             b.wait(),
         ];
-        let l = b.do_while("main", body, Expr::cmp(CmpKind::Ne, b.read_var(v), Expr::Const(0)));
+        let l = b.do_while(
+            "main",
+            body,
+            Expr::cmp(CmpKind::Ne, b.read_var(v), Expr::Const(0)),
+        );
         b.push(l);
         let err = elaborate(&b.build()).unwrap_err();
         assert!(matches!(err, FrontendError::Unsupported { .. }));
@@ -627,7 +700,10 @@ mod tests {
     fn unknown_port_is_rejected() {
         let mut b = BehaviorBuilder::new("bad");
         let v = b.var("v", 8, 0);
-        b.push(Stmt::Assign { var: v, value: Expr::Port("nope".into()) });
+        b.push(Stmt::Assign {
+            var: v,
+            value: Expr::Port("nope".into()),
+        });
         let err = elaborate(&b.build()).unwrap_err();
         assert!(matches!(err, FrontendError::UnknownPort { .. }));
     }
@@ -636,7 +712,10 @@ mod tests {
     fn port_direction_enforced() {
         let mut b = BehaviorBuilder::new("bad");
         b.port_in("x", 8);
-        b.push(Stmt::WritePort { port: "x".into(), value: Expr::Const(0) });
+        b.push(Stmt::WritePort {
+            port: "x".into(),
+            value: Expr::Const(0),
+        });
         let err = elaborate(&b.build()).unwrap_err();
         assert!(matches!(err, FrontendError::PortDirection { .. }));
     }
@@ -649,7 +728,12 @@ mod tests {
         assert!(l.exit_condition.is_some());
         // ops of the loop are homed on body edges
         let by_edge = cdfg.ops_by_edge();
-        let total_on_body: usize = l.body_edges.iter().filter_map(|e| by_edge.get(e)).map(Vec::len).sum();
+        let total_on_body: usize = l
+            .body_edges
+            .iter()
+            .filter_map(|e| by_edge.get(e))
+            .map(Vec::len)
+            .sum();
         assert!(total_on_body >= 5);
     }
 
@@ -663,13 +747,68 @@ mod tests {
             b.assign(acc, Expr::add(b.read_var(acc), b.read_port("x"))),
             b.wait(),
         ];
-        let inner = b.do_while("inner", inner_body, Expr::cmp(CmpKind::Ne, b.read_var(acc), Expr::Const(0)));
-        let outer_body = vec![b.assign(acc, Expr::Const(0)), b.wait(), inner, b.write_port("y", b.read_var(acc))];
+        let inner = b.do_while(
+            "inner",
+            inner_body,
+            Expr::cmp(CmpKind::Ne, b.read_var(acc), Expr::Const(0)),
+        );
+        let outer_body = vec![
+            b.assign(acc, Expr::Const(0)),
+            b.wait(),
+            inner,
+            b.write_port("y", b.read_var(acc)),
+        ];
         b.infinite_loop(outer_body);
         let cdfg = elaborate(&b.build()).expect("elaboration");
         assert_eq!(cdfg.loops.len(), 2);
         assert!(cdfg.loops[0].infinite, "outer thread loop first");
         assert!(!cdfg.loops[1].infinite);
-        assert_eq!(cdfg.innermost_loop().unwrap().name.as_deref(), Some("inner"));
+        assert_eq!(
+            cdfg.innermost_loop().unwrap().name.as_deref(),
+            Some("inner")
+        );
+    }
+
+    #[test]
+    fn narrowing_assignment_materializes_a_resize_op() {
+        // `var v : 8` assigned a 16-bit sum: the declared-width truncation
+        // must exist in the IR (as a free Resize op of width 8), not just as
+        // relabeled signal metadata.
+        let mut b = BehaviorBuilder::new("narrow");
+        b.port_in("a", 16);
+        b.port_out("y", 8);
+        let v = b.var("v", 8, 0);
+        let body = vec![
+            b.assign(v, Expr::add(b.read_port("a"), b.read_port("a"))),
+            b.write_port("y", b.read_var(v)),
+            b.wait(),
+        ];
+        b.infinite_loop(body);
+        let cdfg = elaborate(&b.build()).expect("elaboration");
+        let resizes: Vec<_> = cdfg
+            .dfg
+            .iter_ops()
+            .filter(|(_, op)| matches!(op.kind, OpKind::Resize))
+            .collect();
+        assert_eq!(resizes.len(), 1, "one truncation op expected");
+        let (_, resize) = resizes[0];
+        assert_eq!(resize.width, 8);
+        assert_eq!(resize.inputs[0].width, 16);
+        // widening or equal-width assignments add no resize
+        let mut b2 = BehaviorBuilder::new("wide");
+        b2.port_in("a", 8);
+        b2.port_out("y", 16);
+        let w = b2.var("w", 16, 0);
+        let body2 = vec![
+            b2.assign(w, b2.read_port("a")),
+            b2.write_port("y", b2.read_var(w)),
+            b2.wait(),
+        ];
+        b2.infinite_loop(body2);
+        let cdfg2 = elaborate(&b2.build()).expect("elaboration");
+        assert!(!cdfg2
+            .dfg
+            .iter_ops()
+            .any(|(_, op)| matches!(op.kind, OpKind::Resize)));
     }
 }

@@ -49,7 +49,9 @@ impl fmt::Display for FrontendError {
             FrontendError::PortDirection { name } => {
                 write!(f, "port `{name}` accessed against its direction")
             }
-            FrontendError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            FrontendError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             FrontendError::Unsupported { message } => write!(f, "unsupported construct: {message}"),
             FrontendError::Elaboration { message } => write!(f, "elaboration error: {message}"),
         }
@@ -60,7 +62,9 @@ impl Error for FrontendError {}
 
 impl From<hls_ir::IrError> for FrontendError {
     fn from(e: hls_ir::IrError) -> Self {
-        FrontendError::Elaboration { message: e.to_string() }
+        FrontendError::Elaboration {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -72,8 +76,13 @@ mod tests {
     fn display_nonempty() {
         let errs = [
             FrontendError::UnknownPort { name: "p".into() },
-            FrontendError::Parse { line: 3, message: "expected `;`".into() },
-            FrontendError::Unsupported { message: "nested threads".into() },
+            FrontendError::Parse {
+                line: 3,
+                message: "expected `;`".into(),
+            },
+            FrontendError::Unsupported {
+                message: "nested threads".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -76,7 +76,10 @@ fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
                     line: line_no,
                     message: format!("bad number `{n}`"),
                 })?;
-                out.push(Token { tok: Tok::Num(value), line: line_no });
+                out.push(Token {
+                    tok: Tok::Num(value),
+                    line: line_no,
+                });
             } else if c.is_alphabetic() || c == '_' {
                 let mut s = String::new();
                 while let Some(&d) = chars.peek() {
@@ -87,12 +90,19 @@ fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
                         break;
                     }
                 }
-                out.push(Token { tok: Tok::Ident(s), line: line_no });
+                out.push(Token {
+                    tok: Tok::Ident(s),
+                    line: line_no,
+                });
             } else {
                 chars.next();
                 let two = match (c, chars.peek()) {
-                    ('=', Some('=')) | ('!', Some('=')) | ('<', Some('=')) | ('>', Some('='))
-                    | ('<', Some('<')) | ('>', Some('>')) => {
+                    ('=', Some('='))
+                    | ('!', Some('='))
+                    | ('<', Some('='))
+                    | ('>', Some('='))
+                    | ('<', Some('<'))
+                    | ('>', Some('>')) => {
                         let mut s = String::from(c);
                         s.push(*chars.peek().expect("peeked"));
                         chars.next();
@@ -101,7 +111,10 @@ fn lex(src: &str) -> Result<Vec<Token>, FrontendError> {
                     _ => None,
                 };
                 let sym = two.unwrap_or_else(|| c.to_string());
-                out.push(Token { tok: Tok::Sym(sym), line: line_no });
+                out.push(Token {
+                    tok: Tok::Sym(sym),
+                    line: line_no,
+                });
             }
         }
     }
@@ -122,7 +135,10 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> FrontendError {
-        FrontendError::Parse { line: self.line(), message: message.into() }
+        FrontendError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -164,6 +180,16 @@ impl Parser {
         }
     }
 
+    /// Parses a port/variable bit width, rejecting widths outside `1..=1024`
+    /// (which would otherwise truncate silently through `as u16`).
+    fn width(&mut self) -> Result<u16, FrontendError> {
+        let n = self.number()?;
+        if !(1..=1024).contains(&n) {
+            return Err(self.err(format!("bad width `{n}` (expected 1..=1024 bits)")));
+        }
+        Ok(n as u16)
+    }
+
     fn is_sym(&self, sym: &str) -> bool {
         matches!(self.peek(), Some(Tok::Sym(s)) if s == sym)
     }
@@ -185,18 +211,26 @@ impl Parser {
                 break;
             }
             if self.is_ident("in") || self.is_ident("out") {
-                let dir = if self.is_ident("in") { PortDirection::Input } else { PortDirection::Output };
+                let dir = if self.is_ident("in") {
+                    PortDirection::Input
+                } else {
+                    PortDirection::Output
+                };
                 self.next();
                 let pname = self.ident()?;
                 self.eat_sym(":")?;
-                let width = self.number()? as u16;
+                let width = self.width()?;
                 self.eat_sym(";")?;
-                ports.push(PortDecl { name: pname, direction: dir, width });
+                ports.push(PortDecl {
+                    name: pname,
+                    direction: dir,
+                    width,
+                });
             } else if self.is_ident("var") {
                 self.next();
                 let vname = self.ident()?;
                 self.eat_sym(":")?;
-                let width = self.number()? as u16;
+                let width = self.width()?;
                 let init = if self.is_sym("=") {
                     self.next();
                     self.number()?
@@ -204,10 +238,17 @@ impl Parser {
                     0
                 };
                 self.eat_sym(";")?;
-                vars.push(VarDecl { name: vname, width, init });
+                vars.push(VarDecl {
+                    name: vname,
+                    width,
+                    init,
+                });
             } else if self.is_ident("thread") {
                 self.next();
-                let names = Names { ports: &ports, vars: &vars };
+                let names = Names {
+                    ports: &ports,
+                    vars: &vars,
+                };
                 let stmts = self.block(&names)?;
                 body.push(Stmt::Loop {
                     kind: LoopKind::Infinite,
@@ -219,7 +260,12 @@ impl Parser {
                 return Err(self.err(format!("unexpected token {:?}", self.peek())));
             }
         }
-        Ok(Behavior { name, ports, vars, body })
+        Ok(Behavior {
+            name,
+            ports,
+            vars,
+            body,
+        })
     }
 
     fn block(&mut self, names: &Names<'_>) -> Result<Vec<Stmt>, FrontendError> {
@@ -254,7 +300,11 @@ impl Parser {
             } else {
                 Vec::new()
             };
-            return Ok(Stmt::If { cond, then_body, else_body });
+            return Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
         }
         if self.is_ident("do") {
             self.next();
@@ -264,7 +314,12 @@ impl Parser {
             let cond = self.expr(names)?;
             self.eat_sym(")")?;
             self.eat_sym(";")?;
-            return Ok(Stmt::Loop { kind: LoopKind::DoWhile, body, cond: Some(cond), label: Some("do_while".into()) });
+            return Ok(Stmt::Loop {
+                kind: LoopKind::DoWhile,
+                body,
+                cond: Some(cond),
+                label: Some("do_while".into()),
+            });
         }
         if self.is_ident("while") {
             self.next();
@@ -272,7 +327,12 @@ impl Parser {
             let cond = self.expr(names)?;
             self.eat_sym(")")?;
             let body = self.block(names)?;
-            return Ok(Stmt::Loop { kind: LoopKind::While, body, cond: Some(cond), label: Some("while".into()) });
+            return Ok(Stmt::Loop {
+                kind: LoopKind::While,
+                body,
+                cond: Some(cond),
+                label: Some("while".into()),
+            });
         }
         // assignment: `name = expr ;`
         let target = self.ident()?;
@@ -282,7 +342,10 @@ impl Parser {
         if let Some(var) = names.var(&target) {
             Ok(Stmt::Assign { var, value })
         } else if names.is_port(&target) {
-            Ok(Stmt::WritePort { port: target, value })
+            Ok(Stmt::WritePort {
+                port: target,
+                value,
+            })
         } else {
             Err(self.err(format!("unknown assignment target `{target}`")))
         }
@@ -389,7 +452,10 @@ struct Names<'a> {
 
 impl Names<'_> {
     fn var(&self, name: &str) -> Option<VarId> {
-        self.vars.iter().position(|v| v.name == name).map(|i| VarId(i as u32))
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(|i| VarId(i as u32))
     }
     fn is_port(&self, name: &str) -> bool {
         self.ports.iter().any(|p| p.name == name)
@@ -449,8 +515,12 @@ module example1 {
         let src = "module m { in a : 8; out y : 8; var v : 8 = 0; thread { v = a + a * 2; wait; y = v; } }";
         let b = parse(src).expect("parse");
         // v = a + (a*2): top node is Add
-        let Stmt::Loop { body, .. } = &b.body[0] else { panic!() };
-        let Stmt::Assign { value, .. } = &body[0] else { panic!() };
+        let Stmt::Loop { body, .. } = &b.body[0] else {
+            panic!()
+        };
+        let Stmt::Assign { value, .. } = &body[0] else {
+            panic!()
+        };
         match value {
             Expr::Binary(BinOp::Add, _, rhs) => match rhs.as_ref() {
                 Expr::Binary(BinOp::Mul, _, _) => {}
@@ -464,8 +534,16 @@ module example1 {
     fn comparison_and_while_loop() {
         let src = "module m { in a : 8; out y : 8; var i : 8 = 0; thread { while (i < 10) { i = i + 1; wait; } y = i; wait; } }";
         let b = parse(src).expect("parse");
-        let Stmt::Loop { body, .. } = &b.body[0] else { panic!() };
-        assert!(matches!(&body[0], Stmt::Loop { kind: LoopKind::While, .. }));
+        let Stmt::Loop { body, .. } = &b.body[0] else {
+            panic!()
+        };
+        assert!(matches!(
+            &body[0],
+            Stmt::Loop {
+                kind: LoopKind::While,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -482,6 +560,70 @@ module example1 {
     fn unknown_identifier_rejected() {
         let src = "module m { in a : 8; out y : 8; var v : 8; thread { v = nosuch + 1; wait; } }";
         assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn malformed_module_is_rejected() {
+        // missing `module` keyword
+        let err = parse("widget m { }").unwrap_err();
+        assert!(
+            matches!(err, FrontendError::Parse { line: 1, .. }),
+            "{err:?}"
+        );
+        // missing module name
+        assert!(parse("module { }").is_err());
+        // unclosed module body: the parser runs out of tokens
+        let err = parse("module m {\n  in a : 8;\n").unwrap_err();
+        let FrontendError::Parse { message, .. } = &err else {
+            panic!("expected parse error, got {err:?}")
+        };
+        assert!(
+            message.contains("None") || message.contains("unexpected"),
+            "{message}"
+        );
+        // stray declaration keyword inside the body
+        assert!(parse("module m { input a : 8; }").is_err());
+    }
+
+    #[test]
+    fn unknown_assignment_target_is_rejected() {
+        let src = "module m { in a : 8; out y : 8; thread { nosuch = a; wait; } }";
+        let err = parse(src).unwrap_err();
+        let FrontendError::Parse { message, .. } = &err else {
+            panic!("expected parse error, got {err:?}")
+        };
+        assert!(message.contains("nosuch"), "{message}");
+    }
+
+    #[test]
+    fn input_port_cannot_be_assigned_but_output_can() {
+        // writing an output port is fine...
+        let ok = "module m { in a : 8; out y : 8; thread { y = a; wait; } }";
+        assert!(parse(ok).is_ok());
+        // ...and an unknown name on the right-hand side is caught too
+        let bad = "module m { in a : 8; out y : 8; thread { y = ghost + 1; wait; } }";
+        assert!(parse(bad).is_err());
+    }
+
+    #[test]
+    fn bad_width_is_rejected() {
+        for (src, what) in [
+            ("module m { in a : 0; }", "zero width"),
+            ("module m { in a : -4; }", "negative width"),
+            ("module m { in a : 100000; }", "huge width"),
+            ("module m { var v : 0; }", "zero var width"),
+        ] {
+            let err = parse(src).unwrap_err();
+            let FrontendError::Parse { message, .. } = &err else {
+                panic!("{what}: expected parse error, got {err:?}")
+            };
+            assert!(message.contains("bad width"), "{what}: {message}");
+        }
+        // non-numeric width is still a plain "expected number" error
+        assert!(parse("module m { in a : wide; }").is_err());
+        // boundary widths are accepted
+        assert!(parse("module m { in a : 1; }").is_ok());
+        assert!(parse("module m { in a : 1024; }").is_ok());
     }
 
     #[test]

@@ -141,7 +141,10 @@ pub fn sccs(dfg: &Dfg) -> Vec<Scc> {
             .filter(|d| set.contains(&d.from) && set.contains(&d.to))
             .map(|d| d.distance)
             .sum();
-        out.push(Scc { ops: member, total_distance });
+        out.push(Scc {
+            ops: member,
+            total_distance,
+        });
     }
     // Deterministic order: by smallest member id.
     out.sort_by_key(|c| c.ops[0]);
@@ -192,7 +195,12 @@ pub fn alap_levels(dfg: &Dfg, depth: u32) -> HashMap<OpId, u32> {
 /// Critical-path length of the intra-iteration dependence graph, in
 /// dependence hops (number of operations on the longest chain).
 pub fn critical_path_len(dfg: &Dfg) -> u32 {
-    asap_levels(dfg).values().copied().max().map(|m| m + 1).unwrap_or(0)
+    asap_levels(dfg)
+        .values()
+        .copied()
+        .max()
+        .map(|m| m + 1)
+        .unwrap_or(0)
 }
 
 /// Recurrence-constrained minimum initiation interval, in *operation levels*
@@ -240,19 +248,39 @@ mod tests {
         let scale_rd = dfg.add_op(OpKind::Read(scale), 32, vec![]);
         let th_rd = dfg.add_op(OpKind::Read(th), 32, vec![]);
 
-        let mul1 = dfg.add_op(OpKind::Mul, 32, vec![Signal::op(mask_rd), Signal::op(chrome_rd)]);
+        let mul1 = dfg.add_op(
+            OpKind::Mul,
+            32,
+            vec![Signal::op(mask_rd), Signal::op(chrome_rd)],
+        );
         // loopMux selects 0 on the first iteration, previous aver otherwise —
         // represented as a mux whose second input is the loop-carried MUX
         // output; ids are patched after creating the final MUX.
         let loop_mux = dfg.add_op(
             OpKind::Mux,
             32,
-            vec![Signal::constant(1, 1), Signal::constant(0, 32), Signal::constant(0, 32)],
+            vec![
+                Signal::constant(1, 1),
+                Signal::constant(0, 32),
+                Signal::constant(0, 32),
+            ],
         );
-        let add = dfg.add_op(OpKind::Add, 32, vec![Signal::op(loop_mux), Signal::op(mul1)]);
-        let gt = dfg.add_op(OpKind::Cmp(CmpKind::Gt), 1, vec![Signal::op(add), Signal::op(th_rd)]);
+        let add = dfg.add_op(
+            OpKind::Add,
+            32,
+            vec![Signal::op(loop_mux), Signal::op(mul1)],
+        );
+        let gt = dfg.add_op(
+            OpKind::Cmp(CmpKind::Gt),
+            1,
+            vec![Signal::op(add), Signal::op(th_rd)],
+        );
         let mul2 = dfg.add_op(OpKind::Mul, 32, vec![Signal::op(add), Signal::op(scale_rd)]);
-        let mux = dfg.add_op(OpKind::Mux, 32, vec![Signal::op(gt), Signal::op(mul2), Signal::op(add)]);
+        let mux = dfg.add_op(
+            OpKind::Mux,
+            32,
+            vec![Signal::op(gt), Signal::op(mul2), Signal::op(add)],
+        );
         // close the recurrence: loopMux input 2 is MUX from the previous iteration
         dfg.op_mut(loop_mux).inputs[2] = Signal::carried(mux, 32, 1);
 
@@ -288,7 +316,11 @@ mod tests {
         let mut dfg = Dfg::new();
         let p = dfg.add_port("x", PortDirection::Input, 16);
         let r = dfg.add_op(OpKind::Read(p), 16, vec![]);
-        let acc = dfg.add_op(OpKind::Add, 16, vec![Signal::op_w(r, 16), Signal::op_w(r, 16)]);
+        let acc = dfg.add_op(
+            OpKind::Add,
+            16,
+            vec![Signal::op_w(r, 16), Signal::op_w(r, 16)],
+        );
         dfg.op_mut(acc).inputs[1] = Signal::carried(acc, 16, 1);
         let comps = sccs(&dfg);
         assert_eq!(comps.len(), 1);
@@ -300,8 +332,16 @@ mod tests {
     fn dag_has_no_sccs() {
         let mut dfg = Dfg::new();
         let a = dfg.add_op(OpKind::Const(1), 8, vec![]);
-        let b = dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(a, 8), Signal::constant(1, 8)]);
-        let _c = dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(b, 8), Signal::constant(2, 8)]);
+        let b = dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::op_w(a, 8), Signal::constant(1, 8)],
+        );
+        let _c = dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::op_w(b, 8), Signal::constant(2, 8)],
+        );
         assert!(sccs(&dfg).is_empty());
     }
 
@@ -326,7 +366,11 @@ mod tests {
         let mut dfg = Dfg::new();
         let mut prev = dfg.add_op(OpKind::Const(0), 8, vec![]);
         for _ in 0..5 {
-            prev = dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(prev, 8), Signal::constant(1, 8)]);
+            prev = dfg.add_op(
+                OpKind::Add,
+                8,
+                vec![Signal::op_w(prev, 8), Signal::constant(1, 8)],
+            );
         }
         assert_eq!(critical_path_len(&dfg), 6);
     }
@@ -335,9 +379,21 @@ mod tests {
     fn recurrence_min_ii_grows_with_cycle_length() {
         // acc = ((acc@-1 + 1) + 2) + 3 : a 3-op cycle with distance 1 → II ≥ 3
         let mut dfg = Dfg::new();
-        let a = dfg.add_op(OpKind::Add, 16, vec![Signal::constant(0, 16), Signal::constant(1, 16)]);
-        let b = dfg.add_op(OpKind::Add, 16, vec![Signal::op_w(a, 16), Signal::constant(2, 16)]);
-        let c = dfg.add_op(OpKind::Add, 16, vec![Signal::op_w(b, 16), Signal::constant(3, 16)]);
+        let a = dfg.add_op(
+            OpKind::Add,
+            16,
+            vec![Signal::constant(0, 16), Signal::constant(1, 16)],
+        );
+        let b = dfg.add_op(
+            OpKind::Add,
+            16,
+            vec![Signal::op_w(a, 16), Signal::constant(2, 16)],
+        );
+        let c = dfg.add_op(
+            OpKind::Add,
+            16,
+            vec![Signal::op_w(b, 16), Signal::constant(3, 16)],
+        );
         dfg.op_mut(a).inputs[0] = Signal::carried(c, 16, 1);
         assert_eq!(recurrence_min_ii(&dfg), 3);
     }
@@ -346,7 +402,11 @@ mod tests {
     fn recurrence_min_ii_of_dag_is_one() {
         let mut dfg = Dfg::new();
         let a = dfg.add_op(OpKind::Const(1), 8, vec![]);
-        dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(a, 8), Signal::constant(1, 8)]);
+        dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::op_w(a, 8), Signal::constant(1, 8)],
+        );
         assert_eq!(recurrence_min_ii(&dfg), 1);
     }
 
@@ -354,10 +414,26 @@ mod tests {
     fn larger_distance_relaxes_recurrence() {
         // 4-op cycle at distance 2 → II ≥ 2
         let mut dfg = Dfg::new();
-        let a = dfg.add_op(OpKind::Add, 16, vec![Signal::constant(0, 16), Signal::constant(1, 16)]);
-        let b = dfg.add_op(OpKind::Add, 16, vec![Signal::op_w(a, 16), Signal::constant(1, 16)]);
-        let c = dfg.add_op(OpKind::Add, 16, vec![Signal::op_w(b, 16), Signal::constant(1, 16)]);
-        let d = dfg.add_op(OpKind::Add, 16, vec![Signal::op_w(c, 16), Signal::constant(1, 16)]);
+        let a = dfg.add_op(
+            OpKind::Add,
+            16,
+            vec![Signal::constant(0, 16), Signal::constant(1, 16)],
+        );
+        let b = dfg.add_op(
+            OpKind::Add,
+            16,
+            vec![Signal::op_w(a, 16), Signal::constant(1, 16)],
+        );
+        let c = dfg.add_op(
+            OpKind::Add,
+            16,
+            vec![Signal::op_w(b, 16), Signal::constant(1, 16)],
+        );
+        let d = dfg.add_op(
+            OpKind::Add,
+            16,
+            vec![Signal::op_w(c, 16), Signal::constant(1, 16)],
+        );
         dfg.op_mut(a).inputs[0] = Signal::carried(d, 16, 2);
         assert_eq!(recurrence_min_ii(&dfg), 2);
     }

@@ -118,7 +118,10 @@ impl Cdfg {
             }
             if let Some(cond) = l.exit_condition {
                 if cond.index() >= self.dfg.num_ops() {
-                    return Err(IrError::DanglingOp { op: cond, referenced: cond });
+                    return Err(IrError::DanglingOp {
+                        op: cond,
+                        referenced: cond,
+                    });
                 }
             }
         }
@@ -162,8 +165,14 @@ mod tests {
         let a = cdfg.dfg.add_port("a", PortDirection::Input, 8);
         let y = cdfg.dfg.add_port("y", PortDirection::Output, 8);
         let ra = cdfg.dfg.add_op(OpKind::Read(a), 8, vec![]);
-        let inc = cdfg.dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(ra, 8), Signal::constant(1, 8)]);
-        let w = cdfg.dfg.add_op(OpKind::Write(y), 8, vec![Signal::op_w(inc, 8)]);
+        let inc = cdfg.dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::op_w(ra, 8), Signal::constant(1, 8)],
+        );
+        let w = cdfg
+            .dfg
+            .add_op(OpKind::Write(y), 8, vec![Signal::op_w(inc, 8)]);
         cdfg.dfg.set_home_edge(ra, steps[0]);
         cdfg.dfg.set_home_edge(inc, steps[0]);
         cdfg.dfg.set_home_edge(w, steps[1]);
@@ -202,7 +211,10 @@ mod tests {
         let bogus = CfgEdgeId::from_raw(999);
         let first = cdfg.dfg.op_ids().next().unwrap();
         cdfg.dfg.set_home_edge(first, bogus);
-        assert!(matches!(cdfg.validate(), Err(IrError::HomeEdgeMissing { .. })));
+        assert!(matches!(
+            cdfg.validate(),
+            Err(IrError::HomeEdgeMissing { .. })
+        ));
     }
 
     #[test]

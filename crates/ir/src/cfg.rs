@@ -111,7 +111,13 @@ impl Cfg {
         back_edge: bool,
         label: Option<String>,
     ) -> CfgEdgeId {
-        self.edges.push(CfgEdge { from, to, branch_taken, back_edge, label });
+        self.edges.push(CfgEdge {
+            from,
+            to,
+            branch_taken,
+            back_edge,
+            label,
+        });
         CfgEdgeId::from_raw((self.edges.len() - 1) as u32)
     }
 
@@ -285,13 +291,14 @@ impl Cfg {
                         .filter(|&e| !self.edge(e).back_edge)
                         .count();
                     if outs != 2 {
-                        return Err(IrError::MalformedFork { node: id, out_degree: outs });
+                        return Err(IrError::MalformedFork {
+                            node: id,
+                            out_degree: outs,
+                        });
                     }
                 }
-                CfgNodeKind::Join => {
-                    if self.in_edges(id).len() < 2 {
-                        return Err(IrError::MalformedJoin { node: id });
-                    }
+                CfgNodeKind::Join if self.in_edges(id).len() < 2 => {
+                    return Err(IrError::MalformedJoin { node: id });
                 }
                 _ => {}
             }
@@ -329,7 +336,10 @@ impl Cfg {
 ///
 /// Returns the CFG, the loop-body control-step edge ids in order, and the loop
 /// top/bottom nodes.
-pub fn straight_line_loop(loop_id: LoopId, num_states: usize) -> (Cfg, Vec<CfgEdgeId>, CfgNodeId, CfgNodeId) {
+pub fn straight_line_loop(
+    loop_id: LoopId,
+    num_states: usize,
+) -> (Cfg, Vec<CfgEdgeId>, CfgNodeId, CfgNodeId) {
     let mut cfg = Cfg::new();
     let entry = cfg.add_node(CfgNodeKind::Entry);
     let top = cfg.add_node(CfgNodeKind::LoopTop { loop_id });
@@ -340,7 +350,9 @@ pub fn straight_line_loop(loop_id: LoopId, num_states: usize) -> (Cfg, Vec<CfgEd
         let next = if i + 1 == num_states {
             cfg.add_node(CfgNodeKind::LoopBottom { loop_id })
         } else {
-            cfg.add_node(CfgNodeKind::Wait { label: Some(format!("s{}", i + 1)) })
+            cfg.add_node(CfgNodeKind::Wait {
+                label: Some(format!("s{}", i + 1)),
+            })
         };
         steps.push(cfg.add_edge(prev, next));
         prev = next;
@@ -412,7 +424,10 @@ mod tests {
         assert!(!paths.is_empty());
         let all_edges: HashSet<CfgEdgeId> = paths.iter().flatten().copied().collect();
         for s in steps {
-            assert!(all_edges.contains(&s), "control step {s} missing from paths");
+            assert!(
+                all_edges.contains(&s),
+                "control step {s} missing from paths"
+            );
         }
     }
 
@@ -421,7 +436,10 @@ mod tests {
         let mut cfg = Cfg::new();
         cfg.add_node(CfgNodeKind::Entry);
         cfg.add_node(CfgNodeKind::Entry);
-        assert!(matches!(cfg.validate(), Err(IrError::MultipleEntries { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(IrError::MultipleEntries { .. })
+        ));
     }
 
     #[test]

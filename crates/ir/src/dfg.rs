@@ -58,22 +58,38 @@ pub enum SignalSource {
 impl Signal {
     /// Signal fed by the result of `op` in the same iteration.
     pub fn op(op: OpId) -> Self {
-        Signal { source: SignalSource::Op(op), width: 32, distance: 0 }
+        Signal {
+            source: SignalSource::Op(op),
+            width: 32,
+            distance: 0,
+        }
     }
 
     /// Signal fed by the result of `op` with an explicit bit width.
     pub fn op_w(op: OpId, width: u16) -> Self {
-        Signal { source: SignalSource::Op(op), width, distance: 0 }
+        Signal {
+            source: SignalSource::Op(op),
+            width,
+            distance: 0,
+        }
     }
 
     /// Loop-carried signal: the value `op` produced `distance` iterations ago.
     pub fn carried(op: OpId, width: u16, distance: u32) -> Self {
-        Signal { source: SignalSource::Op(op), width, distance }
+        Signal {
+            source: SignalSource::Op(op),
+            width,
+            distance,
+        }
     }
 
     /// Immediate constant signal.
     pub fn constant(value: i64, width: u16) -> Self {
-        Signal { source: SignalSource::Const(value), width, distance: 0 }
+        Signal {
+            source: SignalSource::Const(value),
+            width,
+            distance: 0,
+        }
     }
 
     /// Returns the producing operation, if the source is an operation.
@@ -132,8 +148,17 @@ impl Dfg {
     }
 
     /// Declares a module port and returns its id.
-    pub fn add_port(&mut self, name: impl Into<String>, direction: PortDirection, width: u16) -> PortId {
-        self.ports.push(Port { name: name.into(), direction, width });
+    pub fn add_port(
+        &mut self,
+        name: impl Into<String>,
+        direction: PortDirection,
+        width: u16,
+    ) -> PortId {
+        self.ports.push(Port {
+            name: name.into(),
+            direction,
+            width,
+        });
         PortId::from_raw((self.ports.len() - 1) as u32)
     }
 
@@ -231,7 +256,12 @@ impl Dfg {
         for (to, op) in self.iter_ops() {
             for (pos, sig) in op.inputs.iter().enumerate() {
                 if let Some(from) = sig.producer() {
-                    deps.push(DataDep { from, to, to_input: pos, distance: sig.distance });
+                    deps.push(DataDep {
+                        from,
+                        to,
+                        to_input: pos,
+                        distance: sig.distance,
+                    });
                 }
             }
         }
@@ -298,7 +328,9 @@ impl Dfg {
 
     /// Returns ids of operations with no intra-iteration predecessors.
     pub fn roots(&self) -> Vec<OpId> {
-        self.op_ids().filter(|&id| self.preds(id).is_empty()).collect()
+        self.op_ids()
+            .filter(|&id| self.preds(id).is_empty())
+            .collect()
     }
 
     /// Returns ids of operations whose result feeds no other operation
@@ -310,7 +342,9 @@ impl Dfg {
                 has_consumer.insert(dep.from);
             }
         }
-        self.op_ids().filter(|id| !has_consumer.contains(id)).collect()
+        self.op_ids()
+            .filter(|id| !has_consumer.contains(id))
+            .collect()
     }
 
     /// Associates an operation with its home CFG edge (control step).
@@ -343,14 +377,20 @@ impl Dfg {
             for sig in &op.inputs {
                 if let Some(p) = sig.producer() {
                     if p.index() >= self.ops.len() {
-                        return Err(IrError::DanglingOp { op: id, referenced: p });
+                        return Err(IrError::DanglingOp {
+                            op: id,
+                            referenced: p,
+                        });
                     }
                 }
             }
             match &op.kind {
                 OpKind::Read(p) | OpKind::Write(p) => {
                     if p.index() >= self.ports.len() {
-                        return Err(IrError::DanglingPort { op: id, referenced: *p });
+                        return Err(IrError::DanglingPort {
+                            op: id,
+                            referenced: *p,
+                        });
                     }
                     let port = self.port(*p);
                     let expect = match op.kind {
@@ -368,7 +408,10 @@ impl Dfg {
             }
             for cond in op.predicate.condition_ops() {
                 if cond.index() >= self.ops.len() {
-                    return Err(IrError::DanglingOp { op: id, referenced: cond });
+                    return Err(IrError::DanglingOp {
+                        op: id,
+                        referenced: cond,
+                    });
                 }
             }
             if op.width == 0 {
@@ -410,7 +453,9 @@ impl Dfg {
         if drained == n {
             None
         } else {
-            (0..n).find(|&i| indeg[i] > 0).map(|i| OpId::from_raw(i as u32))
+            (0..n)
+                .find(|&i| indeg[i] > 0)
+                .map(|i| OpId::from_raw(i as u32))
         }
     }
 
@@ -474,7 +519,11 @@ mod tests {
         let b = dfg.add_port("b", PortDirection::Input, 16);
         let ra = dfg.add_op(OpKind::Read(a), 16, vec![]);
         let rb = dfg.add_op(OpKind::Read(b), 16, vec![]);
-        let sum = dfg.add_op(OpKind::Add, 17, vec![Signal::op_w(ra, 16), Signal::op_w(rb, 16)]);
+        let sum = dfg.add_op(
+            OpKind::Add,
+            17,
+            vec![Signal::op_w(ra, 16), Signal::op_w(rb, 16)],
+        );
         (dfg, ra, rb, sum)
     }
 
@@ -495,8 +544,18 @@ mod tests {
         let (dfg, ra, rb, sum) = small_dfg();
         let deps = dfg.data_deps();
         assert_eq!(deps.len(), 2);
-        assert!(deps.contains(&DataDep { from: ra, to: sum, to_input: 0, distance: 0 }));
-        assert!(deps.contains(&DataDep { from: rb, to: sum, to_input: 1, distance: 0 }));
+        assert!(deps.contains(&DataDep {
+            from: ra,
+            to: sum,
+            to_input: 0,
+            distance: 0
+        }));
+        assert!(deps.contains(&DataDep {
+            from: rb,
+            to: sum,
+            to_input: 1,
+            distance: 0
+        }));
     }
 
     #[test]
@@ -510,15 +569,25 @@ mod tests {
         // previous iteration
         dfg.op_mut(acc).inputs[1] = Signal::carried(acc, 32, 1);
         assert!(dfg.validate().is_ok());
-        let order = dfg.topo_order().expect("loop-carried edge must not create a cycle");
+        let order = dfg
+            .topo_order()
+            .expect("loop-carried edge must not create a cycle");
         assert_eq!(order.len(), 2);
     }
 
     #[test]
     fn intra_iteration_cycle_is_rejected() {
         let mut dfg = Dfg::new();
-        let x = dfg.add_op(OpKind::Add, 32, vec![Signal::constant(1, 32), Signal::constant(2, 32)]);
-        let y = dfg.add_op(OpKind::Add, 32, vec![Signal::op(x), Signal::constant(1, 32)]);
+        let x = dfg.add_op(
+            OpKind::Add,
+            32,
+            vec![Signal::constant(1, 32), Signal::constant(2, 32)],
+        );
+        let y = dfg.add_op(
+            OpKind::Add,
+            32,
+            vec![Signal::op(x), Signal::constant(1, 32)],
+        );
         // create x <- y cycle at distance 0
         dfg.op_mut(x).inputs[0] = Signal::op(y);
         assert!(matches!(
@@ -549,9 +618,18 @@ mod tests {
     #[test]
     fn unsatisfiable_predicate_rejected() {
         let mut dfg = Dfg::new();
-        let cond = dfg.add_op(OpKind::Cmp(CmpKind::Gt), 1, vec![Signal::constant(1, 32), Signal::constant(0, 32)]);
+        let cond = dfg.add_op(
+            OpKind::Cmp(CmpKind::Gt),
+            1,
+            vec![Signal::constant(1, 32), Signal::constant(0, 32)],
+        );
         let p = Predicate::Cond(cond).and(Predicate::NotCond(cond));
-        dfg.add_predicated_op(OpKind::Add, 32, vec![Signal::constant(1, 32), Signal::constant(2, 32)], p);
+        dfg.add_predicated_op(
+            OpKind::Add,
+            32,
+            vec![Signal::constant(1, 32), Signal::constant(2, 32)],
+            p,
+        );
         assert!(matches!(
             dfg.validate(),
             Err(IrError::UnsatisfiablePredicate { .. })

@@ -7,15 +7,26 @@ use crate::dfg::Dfg;
 /// Renders the DFG as a DOT digraph. Loop-carried dependencies are drawn as
 /// dashed edges labelled with their iteration distance.
 pub fn dfg_to_dot(dfg: &Dfg) -> String {
-    let mut out = String::from("digraph dfg {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out =
+        String::from("digraph dfg {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
     for (id, op) in dfg.iter_ops() {
-        let label = format!("{}\\n{} w{}", op.display_name(), op.kind.mnemonic(), op.width);
+        let label = format!(
+            "{}\\n{} w{}",
+            op.display_name(),
+            op.kind.mnemonic(),
+            op.width
+        );
         let extra = if op.predicate.is_true() {
             String::new()
         } else {
             format!("\\n[{}]", op.predicate)
         };
-        out.push_str(&format!("  {} [label=\"{}{}\"];\n", id.index(), label, extra));
+        out.push_str(&format!(
+            "  {} [label=\"{}{}\"];\n",
+            id.index(),
+            label,
+            extra
+        ));
     }
     for dep in dfg.data_deps() {
         if dep.distance == 0 {
@@ -42,7 +53,9 @@ pub fn cfg_to_dot(cfg: &Cfg) -> String {
             CfgNodeKind::Entry => ("entry".to_string(), "oval"),
             CfgNodeKind::Exit => ("exit".to_string(), "oval"),
             CfgNodeKind::Wait { label } => (
-                label.clone().unwrap_or_else(|| format!("wait{}", id.index())),
+                label
+                    .clone()
+                    .unwrap_or_else(|| format!("wait{}", id.index())),
                 "box",
             ),
             CfgNodeKind::Fork => ("fork".to_string(), "diamond"),
@@ -113,7 +126,11 @@ mod tests {
         let mut dfg = Dfg::new();
         let p = dfg.add_port("x", PortDirection::Input, 8);
         let r = dfg.add_op(OpKind::Read(p), 8, vec![]);
-        let a = dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(r, 8), Signal::constant(1, 8)]);
+        let a = dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::op_w(r, 8), Signal::constant(1, 8)],
+        );
         dfg.op_mut(a).inputs[1] = Signal::carried(a, 8, 1);
         let dot = dfg_to_dot(&dfg);
         assert!(dot.starts_with("digraph dfg {"));

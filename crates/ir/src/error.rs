@@ -100,15 +100,26 @@ impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IrError::DanglingOp { op, referenced } => {
-                write!(f, "operation {op} references missing operation {referenced}")
+                write!(
+                    f,
+                    "operation {op} references missing operation {referenced}"
+                )
             }
             IrError::DanglingPort { op, referenced } => {
                 write!(f, "operation {op} references missing port {referenced}")
             }
             IrError::PortDirectionMismatch { op, port } => {
-                write!(f, "operation {op} accesses port {port} against its direction")
+                write!(
+                    f,
+                    "operation {op} accesses port {port} against its direction"
+                )
             }
-            IrError::BadArity { op, kind, expected, found } => write!(
+            IrError::BadArity {
+                op,
+                kind,
+                expected,
+                found,
+            } => write!(
                 f,
                 "operation {op} of kind {kind} expects {expected} inputs but has {found}"
             ),
@@ -155,10 +166,17 @@ mod tests {
     #[test]
     fn errors_display_nonempty() {
         let errors = vec![
-            IrError::DanglingOp { op: OpId::from_raw(1), referenced: OpId::from_raw(9) },
-            IrError::ZeroWidth { op: OpId::from_raw(0) },
+            IrError::DanglingOp {
+                op: OpId::from_raw(1),
+                referenced: OpId::from_raw(9),
+            },
+            IrError::ZeroWidth {
+                op: OpId::from_raw(0),
+            },
             IrError::MultipleEntries { count: 2 },
-            IrError::InconsistentConstraint { detail: "pin beyond latency".into() },
+            IrError::InconsistentConstraint {
+                detail: "pin beyond latency".into(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

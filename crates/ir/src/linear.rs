@@ -116,8 +116,14 @@ impl LinearBody {
         let mut by_port: BTreeMap<(u32, bool), Vec<OpId>> = BTreeMap::new();
         for (id, op) in self.dfg.iter_ops() {
             match op.kind {
-                OpKind::Read(p) => by_port.entry((p.index() as u32, false)).or_default().push(id),
-                OpKind::Write(p) => by_port.entry((p.index() as u32, true)).or_default().push(id),
+                OpKind::Read(p) => by_port
+                    .entry((p.index() as u32, false))
+                    .or_default()
+                    .push(id),
+                OpKind::Write(p) => by_port
+                    .entry((p.index() as u32, true))
+                    .or_default()
+                    .push(id),
                 _ => {}
             }
         }
@@ -171,7 +177,10 @@ impl LinearBody {
         }
         if let Some(cond) = self.exit_condition {
             if cond.index() >= self.dfg.num_ops() {
-                return Err(IrError::DanglingOp { op: cond, referenced: cond });
+                return Err(IrError::DanglingOp {
+                    op: cond,
+                    referenced: cond,
+                });
             }
         }
         Ok(())
@@ -199,7 +208,11 @@ mod tests {
         let y = dfg.add_port("y", PortDirection::Output, 8);
         let r1 = dfg.add_op(OpKind::Read(a), 8, vec![]);
         let r2 = dfg.add_op(OpKind::Read(a), 8, vec![]);
-        let sum = dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(r1, 8), Signal::op_w(r2, 8)]);
+        let sum = dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::op_w(r1, 8), Signal::op_w(r2, 8)],
+        );
         let w1 = dfg.add_op(OpKind::Write(y), 8, vec![Signal::op_w(sum, 8)]);
         let w2 = dfg.add_op(OpKind::Write(y), 8, vec![Signal::op_w(sum, 8)]);
         let mut body = LinearBody::from_dfg("io", dfg);

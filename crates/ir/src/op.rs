@@ -168,7 +168,11 @@ impl OpKind {
             | OpKind::Shl
             | OpKind::Shr
             | OpKind::Cmp(_) => 2,
-            OpKind::Not | OpKind::Neg | OpKind::Slice { .. } | OpKind::Resize | OpKind::Write(_) => 1,
+            OpKind::Not
+            | OpKind::Neg
+            | OpKind::Slice { .. }
+            | OpKind::Resize
+            | OpKind::Write(_) => 1,
             OpKind::Mux => 3,
             OpKind::Const(_) | OpKind::Read(_) | OpKind::Pass => 0,
             OpKind::Call { .. } => return None,
@@ -179,7 +183,13 @@ impl OpKind {
     pub fn is_commutative(&self) -> bool {
         matches!(
             self,
-            OpKind::Add | OpKind::Mul | OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Cmp(CmpKind::Eq) | OpKind::Cmp(CmpKind::Ne)
+            OpKind::Add
+                | OpKind::Mul
+                | OpKind::And
+                | OpKind::Or
+                | OpKind::Xor
+                | OpKind::Cmp(CmpKind::Eq)
+                | OpKind::Cmp(CmpKind::Ne)
         )
     }
 
@@ -287,7 +297,14 @@ mod tests {
 
     #[test]
     fn cmp_swapped_is_involutive_on_strict_orders() {
-        for k in [CmpKind::Lt, CmpKind::Le, CmpKind::Gt, CmpKind::Ge, CmpKind::Eq, CmpKind::Ne] {
+        for k in [
+            CmpKind::Lt,
+            CmpKind::Le,
+            CmpKind::Gt,
+            CmpKind::Ge,
+            CmpKind::Eq,
+            CmpKind::Ne,
+        ] {
             assert_eq!(k.swapped().swapped(), k);
             // a OP b  ==  b swapped(OP) a
             assert_eq!(k.eval(3, 7), k.swapped().eval(7, 3));
@@ -301,7 +318,11 @@ mod tests {
         assert!(OpKind::Write(p).is_io());
         assert!(!OpKind::Read(p).has_side_effects());
         assert!(OpKind::Write(p).has_side_effects());
-        assert!(OpKind::Call { name: "ip".into(), latency: 2 }.has_side_effects());
+        assert!(OpKind::Call {
+            name: "ip".into(),
+            latency: 2
+        }
+        .has_side_effects());
         assert!(!OpKind::Add.is_io());
     }
 
@@ -320,7 +341,14 @@ mod tests {
         assert_eq!(OpKind::Mux.arity(), Some(3));
         assert_eq!(OpKind::Not.arity(), Some(1));
         assert_eq!(OpKind::Const(0).arity(), Some(0));
-        assert_eq!(OpKind::Call { name: "f".into(), latency: 1 }.arity(), None);
+        assert_eq!(
+            OpKind::Call {
+                name: "f".into(),
+                latency: 1
+            }
+            .arity(),
+            None
+        );
     }
 
     #[test]

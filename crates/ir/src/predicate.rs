@@ -13,9 +13,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A guard expression over 1-bit condition values.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Predicate {
     /// Always executes.
+    #[default]
     True,
     /// Executes when the condition op evaluates to 1.
     Cond(OpId),
@@ -143,11 +144,24 @@ impl Predicate {
     pub fn condition_ops(&self) -> Vec<OpId> {
         self.literals().keys().copied().collect()
     }
-}
 
-impl Default for Predicate {
-    fn default() -> Self {
-        Predicate::True
+    /// Redirects every literal over condition `from` to condition `to`,
+    /// preserving polarity. Used when an optimization pass merges two
+    /// structurally identical condition operations.
+    pub fn replace_cond(&mut self, from: OpId, to: OpId) {
+        match self {
+            Predicate::True => {}
+            Predicate::Cond(c) | Predicate::NotCond(c) => {
+                if *c == from {
+                    *c = to;
+                }
+            }
+            Predicate::And(ps) => {
+                for p in ps {
+                    p.replace_cond(from, to);
+                }
+            }
+        }
     }
 }
 
@@ -194,8 +208,14 @@ mod tests {
 
     #[test]
     fn negation_of_literals() {
-        assert_eq!(Predicate::Cond(c(0)).negated(), Some(Predicate::NotCond(c(0))));
-        assert_eq!(Predicate::NotCond(c(0)).negated(), Some(Predicate::Cond(c(0))));
+        assert_eq!(
+            Predicate::Cond(c(0)).negated(),
+            Some(Predicate::NotCond(c(0)))
+        );
+        assert_eq!(
+            Predicate::NotCond(c(0)).negated(),
+            Some(Predicate::Cond(c(0)))
+        );
         assert_eq!(Predicate::True.negated(), None);
     }
 
@@ -248,7 +268,9 @@ mod tests {
 
     #[test]
     fn condition_ops_are_sorted_unique() {
-        let p = Predicate::Cond(c(3)).and(Predicate::NotCond(c(1))).and(Predicate::Cond(c(3)));
+        let p = Predicate::Cond(c(3))
+            .and(Predicate::NotCond(c(1)))
+            .and(Predicate::Cond(c(3)));
         assert_eq!(p.condition_ops(), vec![c(1), c(3)]);
     }
 }

@@ -1,7 +1,9 @@
 //! Schedule description, datapath extraction, and area / power estimation.
 
 use hls_ir::{LinearBody, OpId, OpKind};
-use hls_tech::{ClockConstraint, ImplVariant, ResourceInstanceId, ResourceSet, ResourceType, TechLibrary};
+use hls_tech::{
+    ClockConstraint, ImplVariant, ResourceInstanceId, ResourceSet, ResourceType, TechLibrary,
+};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// One scheduled and bound operation.
@@ -185,7 +187,11 @@ impl Datapath {
             let fast = lib.characterize_variant(&inst.ty, ImplVariant::Fast);
             let small = lib.characterize_variant(&inst.ty, ImplVariant::Small);
             let usable = clock.usable_period_ps() * (1.0 - slack_fraction.clamp(0.0, 0.9));
-            let chosen = if small.delay_ps <= usable * 0.75 { small } else { fast };
+            let chosen = if small.delay_ps <= usable * 0.75 {
+                small
+            } else {
+                fast
+            };
             functional += chosen.area;
             fu_leakage += chosen.leakage_uw;
         }
@@ -224,7 +230,9 @@ impl Datapath {
             if op.kind.is_free() && !matches!(op.kind, OpKind::Pass) {
                 continue;
             }
-            let Some(sid) = sched.ops.get(&id) else { continue };
+            let Some(sid) = sched.ops.get(&id) else {
+                continue;
+            };
             let mut max_span = 0u32;
             let mut needed = false;
             if let Some(cons) = consumers.get(&id) {
@@ -263,7 +271,8 @@ impl Datapath {
         muxes += writers_per_reg as f64 * lib.mux_area(2, 32);
 
         // --- controller ----------------------------------------------------------
-        let controller = 60.0 + 35.0 * f64::from(sched.num_states) + 25.0 * f64::from(sched.num_stages());
+        let controller =
+            60.0 + 35.0 * f64::from(sched.num_states) + 25.0 * f64::from(sched.num_stages());
 
         // --- power ----------------------------------------------------------------
         // Dynamic: every non-free op activates its resource once per iteration;
@@ -274,7 +283,7 @@ impl Datapath {
             if op.kind.is_free() {
                 continue;
             }
-            if sched.ops.get(&id).is_none() {
+            if !sched.ops.contains_key(&id) {
                 continue;
             }
             if let Some(ty) = ResourceType::for_op(op) {
@@ -287,13 +296,21 @@ impl Datapath {
         }
         // fJ / ps = mW; convert to µW (× 1000).
         let dynamic_uw = energy_fj_per_iter / iteration_ps * 1000.0;
-        let area = AreaBreakdown { functional, muxes, registers: register_area, controller };
+        let area = AreaBreakdown {
+            functional,
+            muxes,
+            registers: register_area,
+            controller,
+        };
         let leakage_uw = fu_leakage + 0.0008 * area.total();
         Datapath {
             ops_per_resource,
             registers: registers_list,
             area,
-            power: PowerBreakdown { dynamic_uw, leakage_uw },
+            power: PowerBreakdown {
+                dynamic_uw,
+                leakage_uw,
+            },
         }
     }
 
@@ -317,14 +334,18 @@ pub fn chained_resource_pairs(
 ) -> HashSet<(ResourceInstanceId, ResourceInstanceId)> {
     let mut pairs = HashSet::new();
     for (id, op) in body.dfg.iter_ops() {
-        let Some(si) = sched.ops.get(&id) else { continue };
+        let Some(si) = sched.ops.get(&id) else {
+            continue;
+        };
         let Some(ri) = si.resource else { continue };
         for sig in &op.inputs {
             if sig.distance > 0 {
                 continue;
             }
             let Some(p) = sig.producer() else { continue };
-            let Some(sp) = sched.ops.get(&p) else { continue };
+            let Some(sp) = sched.ops.get(&p) else {
+                continue;
+            };
             if sp.state == si.state {
                 if let Some(rp) = sp.resource {
                     pairs.insert((rp, ri));
@@ -348,7 +369,11 @@ mod tests {
         let y = dfg.add_port("y", PortDirection::Output, 32);
         let r = dfg.add_op(OpKind::Read(x), 32, vec![]);
         let m = dfg.add_op(OpKind::Mul, 32, vec![Signal::op(r), Signal::op(r)]);
-        let a = dfg.add_op(OpKind::Add, 32, vec![Signal::op(m), Signal::constant(1, 32)]);
+        let a = dfg.add_op(
+            OpKind::Add,
+            32,
+            vec![Signal::op(m), Signal::constant(1, 32)],
+        );
         let w = dfg.add_op(OpKind::Write(y), 32, vec![Signal::op(a)]);
         let body = LinearBody::from_dfg("tiny", dfg);
 
@@ -356,11 +381,44 @@ mod tests {
         let mul = resources.add(ResourceType::binary(ResourceClass::Multiplier, 32, 32, 32));
         let add = resources.add(ResourceType::binary(ResourceClass::Adder, 32, 32, 32));
         let mut ops = BTreeMap::new();
-        ops.insert(r, ScheduledOp { op: r, state: 0, resource: None });
-        ops.insert(m, ScheduledOp { op: m, state: 0, resource: Some(mul) });
-        ops.insert(a, ScheduledOp { op: a, state: 1, resource: Some(add) });
-        ops.insert(w, ScheduledOp { op: w, state: 1, resource: None });
-        let sched = ScheduleDesc { num_states: 2, ii: None, ops, resources };
+        ops.insert(
+            r,
+            ScheduledOp {
+                op: r,
+                state: 0,
+                resource: None,
+            },
+        );
+        ops.insert(
+            m,
+            ScheduledOp {
+                op: m,
+                state: 0,
+                resource: Some(mul),
+            },
+        );
+        ops.insert(
+            a,
+            ScheduledOp {
+                op: a,
+                state: 1,
+                resource: Some(add),
+            },
+        );
+        ops.insert(
+            w,
+            ScheduledOp {
+                op: w,
+                state: 1,
+                resource: None,
+            },
+        );
+        let sched = ScheduleDesc {
+            num_states: 2,
+            ii: None,
+            ops,
+            resources,
+        };
         (body, sched)
     }
 
@@ -389,7 +447,10 @@ mod tests {
         let clock = ClockConstraint::from_period_ps(1600.0);
         let dp = Datapath::from_schedule(&body, &sched, &lib, clock, 0.0);
         assert!(dp.area.functional > 0.0);
-        assert!(dp.area.registers > 0.0, "mul result crosses a state boundary");
+        assert!(
+            dp.area.registers > 0.0,
+            "mul result crosses a state boundary"
+        );
         assert!(dp.area.controller > 0.0);
         assert!(dp.total_area() >= dp.area.functional);
         assert!(dp.total_power_uw() > 0.0);
@@ -413,8 +474,20 @@ mod tests {
     fn slower_clock_lowers_dynamic_power() {
         let (body, sched) = tiny();
         let lib = TechLibrary::artisan_90nm_typical();
-        let fast = Datapath::from_schedule(&body, &sched, &lib, ClockConstraint::from_period_ps(800.0), 0.0);
-        let slow = Datapath::from_schedule(&body, &sched, &lib, ClockConstraint::from_period_ps(3200.0), 0.0);
+        let fast = Datapath::from_schedule(
+            &body,
+            &sched,
+            &lib,
+            ClockConstraint::from_period_ps(800.0),
+            0.0,
+        );
+        let slow = Datapath::from_schedule(
+            &body,
+            &sched,
+            &lib,
+            ClockConstraint::from_period_ps(3200.0),
+            0.0,
+        );
         assert!(slow.power.dynamic_uw < fast.power.dynamic_uw);
     }
 
@@ -424,7 +497,13 @@ mod tests {
         let lib = TechLibrary::artisan_90nm_typical();
         // A very slow clock lets every unit use its small variant.
         let clock = ClockConstraint::from_period_ps(6400.0);
-        let tight = Datapath::from_schedule(&body, &sched, &lib, ClockConstraint::from_period_ps(1100.0), 0.0);
+        let tight = Datapath::from_schedule(
+            &body,
+            &sched,
+            &lib,
+            ClockConstraint::from_period_ps(1100.0),
+            0.0,
+        );
         let relaxed = Datapath::from_schedule(&body, &sched, &lib, clock, 0.0);
         assert!(relaxed.area.functional < tight.area.functional);
     }

@@ -27,7 +27,11 @@ pub struct ChainTiming<'a> {
 impl<'a> ChainTiming<'a> {
     /// Creates a timing calculator for the given library and clock.
     pub fn new(lib: &'a TechLibrary, clock: ClockConstraint) -> Self {
-        ChainTiming { lib, clock, delay_cache: HashMap::new() }
+        ChainTiming {
+            lib,
+            clock,
+            delay_cache: HashMap::new(),
+        }
     }
 
     /// The clock constraint in force.
@@ -57,7 +61,8 @@ impl<'a> ChainTiming<'a> {
         if ops_per_instance <= 1 {
             0.0
         } else {
-            self.lib.mux_delay_ps(ops_per_instance.min(u8::MAX as usize) as u8, width)
+            self.lib
+                .mux_delay_ps(ops_per_instance.min(u8::MAX as usize) as u8, width)
         }
     }
 
@@ -81,18 +86,24 @@ impl<'a> ChainTiming<'a> {
     /// other, so neither resources nor registers can be shared and the mux
     /// disappears (this is what lets the paper's Example 3 close timing).
     pub fn path_to_register_shared_ps(&self, arrival_ps: f64, width: u16, shared: bool) -> f64 {
-        let mux = if shared { self.register_mux_delay_ps(width) } else { 0.0 };
+        let mux = if shared {
+            self.register_mux_delay_ps(width)
+        } else {
+            0.0
+        };
         arrival_ps + mux + self.lib.register_setup_ps()
     }
 
     /// Slack of a completed path with explicit register-sharing handling.
     pub fn slack_shared_ps(&self, arrival_ps: f64, width: u16, shared: bool) -> f64 {
-        self.clock.slack_ps(self.path_to_register_shared_ps(arrival_ps, width, shared))
+        self.clock
+            .slack_ps(self.path_to_register_shared_ps(arrival_ps, width, shared))
     }
 
     /// Slack of a completed register-to-register path.
     pub fn slack_ps(&self, arrival_ps: f64, width: u16) -> f64 {
-        self.clock.slack_ps(self.path_to_register_ps(arrival_ps, width))
+        self.clock
+            .slack_ps(self.path_to_register_ps(arrival_ps, width))
     }
 
     /// Whether a completed path meets the clock.
@@ -210,7 +221,10 @@ mod tests {
     use hls_tech::ResourceClass;
 
     fn setup() -> (TechLibrary, ClockConstraint) {
-        (TechLibrary::artisan_90nm_typical(), ClockConstraint::from_period_ps(1600.0))
+        (
+            TechLibrary::artisan_90nm_typical(),
+            ClockConstraint::from_period_ps(1600.0),
+        )
     }
 
     #[test]
@@ -262,7 +276,10 @@ mod tests {
         let mul = ResourceType::binary(ResourceClass::Multiplier, 32, 32, 32);
         let first = t.op_arrival_ps(&[t.register_arrival_ps()], 1, &mul);
         let second = t.op_arrival_ps(&[first], 1, &mul);
-        assert!(!t.meets_clock(second, 32), "the paper notes 2 muls cannot fit in one cycle");
+        assert!(
+            !t.meets_clock(second, 32),
+            "the paper notes 2 muls cannot fit in one cycle"
+        );
     }
 
     #[test]

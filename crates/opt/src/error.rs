@@ -39,7 +39,9 @@ impl Error for OptError {}
 
 impl From<hls_ir::IrError> for OptError {
     fn from(e: hls_ir::IrError) -> Self {
-        OptError::InvalidIr { message: e.to_string() }
+        OptError::InvalidIr {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -49,7 +51,9 @@ mod tests {
 
     #[test]
     fn display_and_conversion() {
-        let e = OptError::UnknownLoop { loop_id: "loop3".into() };
+        let e = OptError::UnknownLoop {
+            loop_id: "loop3".into(),
+        };
         assert!(e.to_string().contains("loop3"));
         let ir: OptError = hls_ir::IrError::MultipleEntries { count: 2 }.into();
         assert!(matches!(ir, OptError::InvalidIr { .. }));

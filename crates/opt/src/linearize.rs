@@ -26,7 +26,9 @@ use std::collections::{HashMap, HashSet};
 pub fn linearize_loop(cdfg: &Cdfg, loop_id: LoopId) -> Result<LinearBody, OptError> {
     let info = cdfg
         .loop_info(loop_id)
-        .ok_or_else(|| OptError::UnknownLoop { loop_id: loop_id.to_string() })?
+        .ok_or_else(|| OptError::UnknownLoop {
+            loop_id: loop_id.to_string(),
+        })?
         .clone();
 
     // 1. Operations homed on body edges, in (edge order, op id) order.
@@ -44,7 +46,10 @@ pub fn linearize_loop(cdfg: &Cdfg, loop_id: LoopId) -> Result<LinearBody, OptErr
             }
         }
         // A control step ends when the edge reaches a wait boundary.
-        if matches!(cdfg.cfg.node(cdfg.cfg.edge(edge).to).kind, CfgNodeKind::Wait { .. }) {
+        if matches!(
+            cdfg.cfg.node(cdfg.cfg.edge(edge).to).kind,
+            CfgNodeKind::Wait { .. }
+        ) {
             state += 1;
         }
     }
@@ -111,17 +116,13 @@ pub fn linearize_loop(cdfg: &Cdfg, loop_id: LoopId) -> Result<LinearBody, OptErr
         new_op.predicate = predicate;
     }
 
-    let mut body = LinearBody::from_dfg(
-        info.name.clone().unwrap_or_else(|| cdfg.name.clone()),
-        dfg,
-    );
+    let mut body =
+        LinearBody::from_dfg(info.name.clone().unwrap_or_else(|| cdfg.name.clone()), dfg);
     body.source_states = source_states;
     for (&op, &s) in &op_state {
         body.source_state.insert(remap[&op], s);
     }
-    body.exit_condition = info
-        .exit_condition
-        .and_then(|c| remap.get(&c).copied());
+    body.exit_condition = info.exit_condition.and_then(|c| remap.get(&c).copied());
     body.validate().map_err(OptError::from)?;
     Ok(body)
 }
@@ -133,7 +134,10 @@ fn remap_signal(sig: &Signal, remap: &HashMap<OpId, OpId>) -> Result<Signal, Opt
             let new = remap.get(&p).ok_or_else(|| OptError::Linearize {
                 message: format!("operation {p} referenced by the loop body was not remapped"),
             })?;
-            Ok(Signal { source: hls_ir::dfg::SignalSource::Op(*new), ..*sig })
+            Ok(Signal {
+                source: hls_ir::dfg::SignalSource::Op(*new),
+                ..*sig
+            })
         }
     }
 }
@@ -171,7 +175,9 @@ pub fn prepare_innermost_loop(cdfg: &mut Cdfg) -> Result<LinearBody, OptError> {
     let id = cdfg
         .innermost_loop()
         .map(|l| l.id)
-        .ok_or_else(|| OptError::UnknownLoop { loop_id: "<none>".to_string() })?;
+        .ok_or_else(|| OptError::UnknownLoop {
+            loop_id: "<none>".to_string(),
+        })?;
     linearize_loop(cdfg, id)
 }
 
@@ -226,7 +232,11 @@ mod tests {
         assert_eq!(state_of("mul1_op"), 0);
         assert_eq!(state_of("add_op"), 0);
         assert_eq!(state_of("mul2_op"), 0);
-        assert_eq!(state_of("mul3_op"), 1, "pixel computation comes after the wait");
+        assert_eq!(
+            state_of("mul3_op"),
+            1,
+            "pixel computation comes after the wait"
+        );
         assert_eq!(state_of("pixel_write"), 1);
     }
 
@@ -272,7 +282,8 @@ mod tests {
 
     #[test]
     fn fir_linearizes_without_scc() {
-        let mut cdfg = hls_frontend::elaborate(&designs::fir_filter(&[1, 2, 3, 4], 16)).expect("elab");
+        let mut cdfg =
+            hls_frontend::elaborate(&designs::fir_filter(&[1, 2, 3, 4], 16)).expect("elab");
         let body = prepare_innermost_loop(&mut cdfg).expect("prepare");
         assert!(sccs(&body.dfg).is_empty());
         // all computation sits before the trailing wait; the state after the

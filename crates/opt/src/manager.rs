@@ -80,7 +80,10 @@ impl PassManager {
     /// validation.
     pub fn run(&self, cdfg: &mut Cdfg) -> Result<PassReport, OptError> {
         let ops_before = cdfg.dfg.num_ops();
-        let mut report = PassReport { ops_before, ..PassReport::default() };
+        let mut report = PassReport {
+            ops_before,
+            ..PassReport::default()
+        };
         for pass in &self.passes {
             let n = pass.run(cdfg)?;
             report.changes.push((pass.name().to_string(), n));
@@ -94,7 +97,10 @@ impl PassManager {
 impl std::fmt::Debug for PassManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PassManager")
-            .field("passes", &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>())
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -123,8 +129,13 @@ mod tests {
     #[test]
     fn pipeline_without_predicate_conversion() {
         let mut cdfg = designs::paper_example1_cdfg().expect("elaborate");
-        let report = PassManager::without_predicate_conversion().run(&mut cdfg).expect("passes");
-        assert!(report.changes.iter().all(|(name, _)| name != "predicate-conversion"));
+        let report = PassManager::without_predicate_conversion()
+            .run(&mut cdfg)
+            .expect("passes");
+        assert!(report
+            .changes
+            .iter()
+            .all(|(name, _)| name != "predicate-conversion"));
     }
 
     #[test]

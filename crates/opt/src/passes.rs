@@ -32,12 +32,36 @@ pub(crate) fn replace_uses(cdfg: &mut Cdfg, from: OpId, to: Signal) -> usize {
             if input.producer() == Some(from) {
                 let width = input.width;
                 let distance = input.distance;
-                *input = Signal { width, distance: distance + to.distance, ..to };
+                *input = Signal {
+                    width,
+                    distance: distance + to.distance,
+                    ..to
+                };
                 changed += 1;
             }
         }
     }
     changed
+}
+
+/// Redirects every *control* reference to condition op `from` onto `to`:
+/// fork conditions, loop exit conditions and operation predicates. Data uses
+/// are handled by [`replace_uses`]; forgetting these control references would
+/// leave branches/loops keyed on a neutralized operation.
+pub(crate) fn redirect_condition_refs(cdfg: &mut Cdfg, from: OpId, to: OpId) {
+    for cond in cdfg.fork_conditions.values_mut() {
+        if *cond == from {
+            *cond = to;
+        }
+    }
+    for l in &mut cdfg.loops {
+        if l.exit_condition == Some(from) {
+            l.exit_condition = Some(to);
+        }
+    }
+    for id in cdfg.dfg.op_ids().collect::<Vec<_>>() {
+        cdfg.dfg.op_mut(id).predicate.replace_cond(from, to);
+    }
 }
 
 /// Evaluates an operation kind on constant inputs, if possible.
@@ -111,7 +135,9 @@ impl Pass for ConstantFolding {
                     })
                     .collect();
                 let Some(values) = const_inputs else { continue };
-                let Some(result) = eval_const(&op.kind, &values) else { continue };
+                let Some(result) = eval_const(&op.kind, &values) else {
+                    continue;
+                };
                 let width = op.width;
                 let op_mut = cdfg.dfg.op_mut(id);
                 op_mut.kind = OpKind::Const(result);
@@ -161,7 +187,8 @@ impl Pass for StrengthReduction {
                         continue;
                     }
                     // power-of-two multiplicand → shift
-                    let shift_of = |v: i64| (v > 1 && (v & (v - 1)) == 0).then(|| v.trailing_zeros() as i64);
+                    let shift_of =
+                        |v: i64| (v > 1 && (v & (v - 1)) == 0).then(|| v.trailing_zeros() as i64);
                     if let Some(k) = const_of(&rhs).and_then(shift_of) {
                         let op_mut = cdfg.dfg.op_mut(id);
                         op_mut.kind = OpKind::Shl;
@@ -191,9 +218,9 @@ impl Pass for StrengthReduction {
     }
 }
 
-/// Common subexpression elimination: operations with identical kind, inputs
-/// and predicate are merged (later occurrences redirect to the first one).
-/// I/O and side-effecting operations are never merged.
+/// Common subexpression elimination: operations with identical kind, result
+/// width, inputs and predicate are merged (later occurrences redirect to the
+/// first one). I/O and side-effecting operations are never merged.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CommonSubexpression;
 
@@ -213,13 +240,21 @@ impl Pass for CommonSubexpression {
                     continue;
                 }
                 let key = format!(
-                    "{:?}|{:?}|{:?}|{:?}",
-                    op.kind, op.inputs, op.predicate, op.home_edge
+                    "{:?}|{}|{:?}|{:?}|{:?}",
+                    op.kind, op.width, op.inputs, op.predicate, op.home_edge
                 );
                 match seen.get(&key) {
                     Some(&first) if first != id => {
                         let width = op.width;
                         replace_uses(cdfg, id, Signal::op_w(first, width));
+                        redirect_condition_refs(cdfg, id, first);
+                        // Neutralize the duplicate so later rounds (and the
+                        // convergence check) do not rediscover it.
+                        let op = cdfg.dfg.op_mut(id);
+                        op.kind = OpKind::Pass;
+                        op.inputs.clear();
+                        op.predicate = hls_ir::Predicate::True;
+                        op.name = Some(format!("cse_{}", id.index()));
                         round += 1;
                     }
                     _ => {
@@ -354,7 +389,8 @@ impl Pass for CanonicalizeCompares {
         for id in cdfg.dfg.op_ids().collect::<Vec<_>>() {
             let op = cdfg.dfg.op_mut(id);
             if let OpKind::Cmp(kind) = op.kind {
-                let lhs_is_const = matches!(op.inputs[0].source, hls_ir::dfg::SignalSource::Const(_));
+                let lhs_is_const =
+                    matches!(op.inputs[0].source, hls_ir::dfg::SignalSource::Const(_));
                 let rhs_is_op = matches!(op.inputs[1].source, hls_ir::dfg::SignalSource::Op(_));
                 if lhs_is_const && rhs_is_op {
                     op.inputs.swap(0, 1);
@@ -371,7 +407,10 @@ impl Pass for CanonicalizeCompares {
 /// `Const` and slice nodes excluded) — the "real" size of a design after
 /// optimization, comparable with the op counts the paper quotes.
 pub fn effective_op_count(cdfg: &Cdfg) -> usize {
-    cdfg.dfg.iter_ops().filter(|(_, op)| !op.kind.is_free()).count()
+    cdfg.dfg
+        .iter_ops()
+        .filter(|(_, op)| !op.kind.is_free())
+        .count()
 }
 
 #[cfg(test)]
@@ -389,8 +428,16 @@ mod tests {
     fn constant_folding_collapses_chains() {
         let mut dfg = Dfg::new();
         let y = dfg.add_port("y", PortDirection::Output, 32);
-        let a = dfg.add_op(OpKind::Add, 32, vec![Signal::constant(2, 32), Signal::constant(3, 32)]);
-        let b = dfg.add_op(OpKind::Mul, 32, vec![Signal::op(a), Signal::constant(4, 32)]);
+        let a = dfg.add_op(
+            OpKind::Add,
+            32,
+            vec![Signal::constant(2, 32), Signal::constant(3, 32)],
+        );
+        let b = dfg.add_op(
+            OpKind::Mul,
+            32,
+            vec![Signal::op(a), Signal::constant(4, 32)],
+        );
         dfg.add_op(OpKind::Write(y), 32, vec![Signal::op(b)]);
         let mut cdfg = cdfg_with(dfg);
         let n = ConstantFolding.run(&mut cdfg).unwrap();
@@ -401,8 +448,20 @@ mod tests {
     #[test]
     fn constant_folding_handles_mux_and_cmp() {
         let mut dfg = Dfg::new();
-        let c = dfg.add_op(OpKind::Cmp(CmpKind::Gt), 1, vec![Signal::constant(5, 32), Signal::constant(3, 32)]);
-        let m = dfg.add_op(OpKind::Mux, 32, vec![Signal::op_w(c, 1), Signal::constant(10, 32), Signal::constant(20, 32)]);
+        let c = dfg.add_op(
+            OpKind::Cmp(CmpKind::Gt),
+            1,
+            vec![Signal::constant(5, 32), Signal::constant(3, 32)],
+        );
+        let m = dfg.add_op(
+            OpKind::Mux,
+            32,
+            vec![
+                Signal::op_w(c, 1),
+                Signal::constant(10, 32),
+                Signal::constant(20, 32),
+            ],
+        );
         let mut cdfg = cdfg_with(dfg);
         ConstantFolding.run(&mut cdfg).unwrap();
         assert_eq!(cdfg.dfg.op(c).kind, OpKind::Const(1));
@@ -412,7 +471,11 @@ mod tests {
     #[test]
     fn division_by_zero_is_not_folded() {
         let mut dfg = Dfg::new();
-        let d = dfg.add_op(OpKind::Div, 32, vec![Signal::constant(5, 32), Signal::constant(0, 32)]);
+        let d = dfg.add_op(
+            OpKind::Div,
+            32,
+            vec![Signal::constant(5, 32), Signal::constant(0, 32)],
+        );
         let mut cdfg = cdfg_with(dfg);
         ConstantFolding.run(&mut cdfg).unwrap();
         assert_eq!(cdfg.dfg.op(d).kind, OpKind::Div);
@@ -423,7 +486,11 @@ mod tests {
         let mut dfg = Dfg::new();
         let p = dfg.add_port("x", PortDirection::Input, 32);
         let r = dfg.add_op(OpKind::Read(p), 32, vec![]);
-        let m = dfg.add_op(OpKind::Mul, 32, vec![Signal::op(r), Signal::constant(8, 32)]);
+        let m = dfg.add_op(
+            OpKind::Mul,
+            32,
+            vec![Signal::op(r), Signal::constant(8, 32)],
+        );
         let mut cdfg = cdfg_with(dfg);
         let n = StrengthReduction.run(&mut cdfg).unwrap();
         assert_eq!(n, 1);
@@ -436,8 +503,16 @@ mod tests {
         let p = dfg.add_port("x", PortDirection::Input, 32);
         let y = dfg.add_port("y", PortDirection::Output, 32);
         let r = dfg.add_op(OpKind::Read(p), 32, vec![]);
-        let add0 = dfg.add_op(OpKind::Add, 32, vec![Signal::op(r), Signal::constant(0, 32)]);
-        let mul1 = dfg.add_op(OpKind::Mul, 32, vec![Signal::op(add0), Signal::constant(1, 32)]);
+        let add0 = dfg.add_op(
+            OpKind::Add,
+            32,
+            vec![Signal::op(r), Signal::constant(0, 32)],
+        );
+        let mul1 = dfg.add_op(
+            OpKind::Mul,
+            32,
+            vec![Signal::op(add0), Signal::constant(1, 32)],
+        );
         let w = dfg.add_op(OpKind::Write(y), 32, vec![Signal::op(mul1)]);
         let mut cdfg = cdfg_with(dfg);
         StrengthReduction.run(&mut cdfg).unwrap();
@@ -463,12 +538,81 @@ mod tests {
     }
 
     #[test]
+    fn cse_redirects_fork_and_exit_conditions_and_predicates() {
+        use hls_ir::{CfgNodeId, Predicate};
+        // Two structurally identical comparisons; one backs a fork condition,
+        // a loop exit condition and an operation predicate. After CSE merges
+        // them, every control reference must point at the survivor, never at
+        // the neutralized duplicate.
+        let mut dfg = Dfg::new();
+        let p = dfg.add_port("v", PortDirection::Input, 32);
+        let y = dfg.add_port("y", PortDirection::Output, 32);
+        let r = dfg.add_op(OpKind::Read(p), 32, vec![]);
+        let c1 = dfg.add_op(
+            OpKind::Cmp(CmpKind::Gt),
+            1,
+            vec![Signal::op(r), Signal::constant(0, 32)],
+        );
+        let c2 = dfg.add_op(
+            OpKind::Cmp(CmpKind::Gt),
+            1,
+            vec![Signal::op(r), Signal::constant(0, 32)],
+        );
+        let w = dfg.add_op(OpKind::Write(y), 32, vec![Signal::op(r)]);
+        dfg.op_mut(w).predicate = Predicate::Cond(c2);
+        let mut cdfg = cdfg_with(dfg);
+        let fork = CfgNodeId::from_raw(7);
+        cdfg.fork_conditions.insert(fork, c2);
+        cdfg.loops.push(hls_ir::LoopInfo {
+            id: hls_ir::LoopId::from_raw(0),
+            top: CfgNodeId::from_raw(0),
+            bottom: CfgNodeId::from_raw(1),
+            body_edges: vec![],
+            exit_condition: Some(c2),
+            infinite: false,
+            name: None,
+        });
+
+        let n = CommonSubexpression.run(&mut cdfg).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(cdfg.dfg.op(c2).kind, OpKind::Pass);
+        assert_eq!(cdfg.fork_conditions[&fork], c1);
+        assert_eq!(cdfg.loops[0].exit_condition, Some(c1));
+        assert_eq!(cdfg.dfg.op(w).predicate, Predicate::Cond(c1));
+    }
+
+    #[test]
+    fn cse_does_not_merge_ops_of_different_width() {
+        let mut dfg = Dfg::new();
+        let p = dfg.add_port("x", PortDirection::Input, 32);
+        let y = dfg.add_port("y", PortDirection::Output, 32);
+        let r = dfg.add_op(OpKind::Read(p), 32, vec![]);
+        let narrow = dfg.add_op(OpKind::Add, 16, vec![Signal::op(r), Signal::op(r)]);
+        let wide = dfg.add_op(OpKind::Add, 32, vec![Signal::op(r), Signal::op(r)]);
+        let sum = dfg.add_op(
+            OpKind::Add,
+            32,
+            vec![Signal::op_w(narrow, 16), Signal::op_w(wide, 32)],
+        );
+        dfg.add_op(OpKind::Write(y), 32, vec![Signal::op(sum)]);
+        let mut cdfg = cdfg_with(dfg);
+        let n = CommonSubexpression.run(&mut cdfg).unwrap();
+        assert_eq!(n, 0, "16-bit and 32-bit adds must not be merged");
+        assert_eq!(cdfg.dfg.op(narrow).kind, OpKind::Add);
+        assert_eq!(cdfg.dfg.op(wide).kind, OpKind::Add);
+    }
+
+    #[test]
     fn dce_neutralizes_unused_ops() {
         let mut dfg = Dfg::new();
         let p = dfg.add_port("x", PortDirection::Input, 32);
         let y = dfg.add_port("y", PortDirection::Output, 32);
         let r = dfg.add_op(OpKind::Read(p), 32, vec![]);
-        let used = dfg.add_op(OpKind::Add, 32, vec![Signal::op(r), Signal::constant(1, 32)]);
+        let used = dfg.add_op(
+            OpKind::Add,
+            32,
+            vec![Signal::op(r), Signal::constant(1, 32)],
+        );
         let unused = dfg.add_op(OpKind::Mul, 32, vec![Signal::op(r), Signal::op(r)]);
         dfg.add_op(OpKind::Write(y), 32, vec![Signal::op(used)]);
         let mut cdfg = cdfg_with(dfg);
@@ -485,7 +629,11 @@ mod tests {
         let p = dfg.add_port("x", PortDirection::Input, 32);
         let y = dfg.add_port("y", PortDirection::Output, 32);
         let r = dfg.add_op(OpKind::Read(p), 32, vec![]);
-        let cond = dfg.add_op(OpKind::Cmp(CmpKind::Gt), 1, vec![Signal::op(r), Signal::constant(0, 32)]);
+        let cond = dfg.add_op(
+            OpKind::Cmp(CmpKind::Gt),
+            1,
+            vec![Signal::op(r), Signal::constant(0, 32)],
+        );
         let val = dfg.add_predicated_op(
             OpKind::Add,
             32,
@@ -503,7 +651,11 @@ mod tests {
         let mut dfg = Dfg::new();
         let p = dfg.add_port("x", PortDirection::Input, 32);
         let r = dfg.add_op(OpKind::Read(p), 32, vec![]);
-        let a = dfg.add_op(OpKind::Add, 32, vec![Signal::op(r), Signal::constant(3, 32)]);
+        let a = dfg.add_op(
+            OpKind::Add,
+            32,
+            vec![Signal::op(r), Signal::constant(3, 32)],
+        );
         let mut cdfg = cdfg_with(dfg);
         let n = ConstWidthReduction.run(&mut cdfg).unwrap();
         assert_eq!(n, 1);
@@ -515,7 +667,11 @@ mod tests {
         let mut dfg = Dfg::new();
         let p = dfg.add_port("x", PortDirection::Input, 32);
         let r = dfg.add_op(OpKind::Read(p), 32, vec![]);
-        let c = dfg.add_op(OpKind::Cmp(CmpKind::Lt), 1, vec![Signal::constant(0, 32), Signal::op(r)]);
+        let c = dfg.add_op(
+            OpKind::Cmp(CmpKind::Lt),
+            1,
+            vec![Signal::constant(0, 32), Signal::op(r)],
+        );
         let mut cdfg = cdfg_with(dfg);
         CanonicalizeCompares.run(&mut cdfg).unwrap();
         assert_eq!(cdfg.dfg.op(c).kind, OpKind::Cmp(CmpKind::Gt));

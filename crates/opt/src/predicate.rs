@@ -26,7 +26,9 @@ impl Pass for PredicateConversion {
         // Collect (edge, predicate literal) pairs for every branch edge.
         let mut edge_predicates = Vec::new();
         for (edge_id, edge) in cdfg.cfg.iter_edges() {
-            let Some(taken) = edge.branch_taken else { continue };
+            let Some(taken) = edge.branch_taken else {
+                continue;
+            };
             let from_kind = &cdfg.cfg.node(edge.from).kind;
             if !matches!(from_kind, CfgNodeKind::Fork) {
                 continue;
@@ -34,7 +36,11 @@ impl Pass for PredicateConversion {
             let Some(&cond) = cdfg.fork_conditions.get(&edge.from) else {
                 continue;
             };
-            let literal = if taken { Predicate::Cond(cond) } else { Predicate::NotCond(cond) };
+            let literal = if taken {
+                Predicate::Cond(cond)
+            } else {
+                Predicate::NotCond(cond)
+            };
             edge_predicates.push((edge_id, literal));
         }
         for (edge_id, literal) in edge_predicates {
@@ -99,7 +105,11 @@ mod tests {
             b.write_port("y", b.read_var(v)),
             b.wait(),
         ];
-        let l = b.do_while("main", body, Expr::cmp(CmpKind::Ne, b.read_var(v), Expr::Const(0)));
+        let l = b.do_while(
+            "main",
+            body,
+            Expr::cmp(CmpKind::Ne, b.read_var(v), Expr::Const(0)),
+        );
         b.push(l);
         let mut cdfg = elaborate(&b.build()).expect("elaborate");
         PredicateConversion.run(&mut cdfg).unwrap();

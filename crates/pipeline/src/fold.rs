@@ -38,7 +38,10 @@ impl fmt::Display for FoldError {
         match self {
             FoldError::NotPipelined => write!(f, "schedule has no initiation interval"),
             FoldError::SharedOnEquivalentEdges { a, b } => {
-                write!(f, "operations {a} and {b} share a resource on equivalent edges")
+                write!(
+                    f,
+                    "operations {a} and {b} share a resource on equivalent edges"
+                )
             }
             FoldError::CausalityViolation { from, to, distance } => write!(
                 f,
@@ -120,7 +123,10 @@ pub fn fold_schedule(body: &LinearBody, schedule: &Schedule) -> Result<FoldedPip
     let mut by_folded_resource: HashMap<(u32, u32), Vec<OpId>> = HashMap::new();
     for (id, s) in &schedule.desc.ops {
         if let Some(r) = s.resource {
-            by_folded_resource.entry((r.0, s.state % ii)).or_default().push(*id);
+            by_folded_resource
+                .entry((r.0, s.state % ii))
+                .or_default()
+                .push(*id);
         }
     }
     for ops in by_folded_resource.values() {
@@ -129,7 +135,10 @@ pub fn fold_schedule(body: &LinearBody, schedule: &Schedule) -> Result<FoldedPip
                 let pa = &body.dfg.op(ops[i]).predicate;
                 let pb = &body.dfg.op(ops[j]).predicate;
                 if !pa.mutually_exclusive(pb) {
-                    return Err(FoldError::SharedOnEquivalentEdges { a: ops[i], b: ops[j] });
+                    return Err(FoldError::SharedOnEquivalentEdges {
+                        a: ops[i],
+                        b: ops[j],
+                    });
                 }
             }
         }
@@ -249,7 +258,10 @@ mod tests {
         )
         .run()
         .expect("schedulable");
-        assert_eq!(fold_schedule(&body, &schedule).unwrap_err(), FoldError::NotPipelined);
+        assert_eq!(
+            fold_schedule(&body, &schedule).unwrap_err(),
+            FoldError::NotPipelined
+        );
     }
 
     #[test]

@@ -34,7 +34,12 @@ pub struct ModuloResult {
 impl ModuloResult {
     /// Latency (makespan) of one iteration.
     pub fn latency(&self) -> u32 {
-        self.time_of.values().copied().max().map(|t| t + 1).unwrap_or(0)
+        self.time_of
+            .values()
+            .copied()
+            .max()
+            .map(|t| t + 1)
+            .unwrap_or(0)
     }
 }
 
@@ -86,7 +91,14 @@ pub fn modulo_schedule(
                         .unwrap_or(0.0);
                     let own_delay = class
                         .as_ref()
-                        .map(|c| lib.delay_ps(&ResourceType::binary(c.clone(), op.max_width(), op.max_width(), op.width)))
+                        .map(|c| {
+                            lib.delay_ps(&ResourceType::binary(
+                                c.clone(),
+                                op.max_width(),
+                                op.max_width(),
+                                op.width,
+                            ))
+                        })
                         .unwrap_or(0.0);
                     // chain only if both fit in one cycle, else next cycle
                     let same_cycle_ok = pred_delay + own_delay + 190.0 < clock_period_ps;
@@ -133,7 +145,12 @@ pub fn modulo_schedule(
             let entry = resource_counts.entry(class.clone()).or_insert(0);
             *entry = (*entry).max(*used);
         }
-        return Some(ModuloResult { ii, time_of, attempts, resource_counts });
+        return Some(ModuloResult {
+            ii,
+            time_of,
+            attempts,
+            resource_counts,
+        });
     }
     None
 }

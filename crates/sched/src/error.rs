@@ -52,7 +52,9 @@ impl Error for SchedError {}
 
 impl From<hls_ir::IrError> for SchedError {
     fn from(e: hls_ir::IrError) -> Self {
-        SchedError::InvalidBody { message: e.to_string() }
+        SchedError::InvalidBody {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -62,9 +64,16 @@ mod tests {
 
     #[test]
     fn display_nonempty() {
-        let e = SchedError::Overconstrained { latency: 3, passes: 7, details: "x".into() };
+        let e = SchedError::Overconstrained {
+            latency: 3,
+            passes: 7,
+            details: "x".into(),
+        };
         assert!(e.to_string().contains("overconstrained"));
-        let e = SchedError::InfeasibleIi { requested: 1, minimum: 3 };
+        let e = SchedError::InfeasibleIi {
+            requested: 1,
+            minimum: 3,
+        };
         assert!(e.to_string().contains("minimum 3"));
     }
 }

@@ -43,4 +43,4 @@ pub use error::SchedError;
 pub use pass::{PassFailure, PassOutcome};
 pub use relax::{RelaxAction, Restraint};
 pub use resources::initial_resource_set;
-pub use scheduler::{Schedule, Scheduler};
+pub use scheduler::{schedule_separated, Schedule, Scheduler};

@@ -98,7 +98,11 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
     }
     let share_factor = |class: &ResourceClass| -> usize {
         let ops = ops_per_type.get(&class.mnemonic()).copied().unwrap_or(1);
-        let insts = insts_per_type.get(&class.mnemonic()).copied().unwrap_or(1).max(1);
+        let insts = insts_per_type
+            .get(&class.mnemonic())
+            .copied()
+            .unwrap_or(1)
+            .max(1);
         ops.div_ceil(insts)
     };
 
@@ -115,7 +119,9 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
     let fold = |state: u32| if pipelined { state % ii } else { state };
 
     let scc_window = |idx: usize, dyn_stage: &HashMap<usize, u32>| -> Option<(u32, u32)> {
-        dyn_stage.get(&idx).map(|&stage| (stage * ii, (stage * ii + ii - 1).min(latency - 1)))
+        dyn_stage
+            .get(&idx)
+            .map(|&stage| (stage * ii, (stage * ii + ii - 1).min(latency - 1)))
     };
 
     // priority function: complexity (delay) first, then low mobility, then
@@ -151,12 +157,18 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
                         .all(|p| placed.get(p).map(|s| s.state <= state).unwrap_or(false))
                         && extra_preds
                             .get(&id)
-                            .map(|ps| ps.iter().all(|p| placed.get(p).map(|s| s.state <= state).unwrap_or(false)))
+                            .map(|ps| {
+                                ps.iter().all(|p| {
+                                    placed.get(p).map(|s| s.state <= state).unwrap_or(false)
+                                })
+                            })
                             .unwrap_or(true)
                 })
                 .filter(|&id| {
                     // pin constraints
-                    body.pin_of(id).map(|p| p.allows(hls_ir::StateIdx::new(state))).unwrap_or(true)
+                    body.pin_of(id)
+                        .map(|p| p.allows(hls_ir::StateIdx::new(state)))
+                        .unwrap_or(true)
                 })
                 .filter(|&id| {
                     // SCC stage window (only a lower/upper bound once pinned)
@@ -199,7 +211,9 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
                         }
                         Some(p) => match placed.get(&p) {
                             Some(sp) if sp.state < state => timing.register_arrival_ps(),
-                            Some(sp) if sp.state == state => arrival.get(&p).copied().unwrap_or(0.0),
+                            Some(sp) if sp.state == state => {
+                                arrival.get(&p).copied().unwrap_or(0.0)
+                            }
                             _ => {
                                 inputs_ready = false;
                                 0.0
@@ -225,7 +239,14 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
                         OpKind::Read(_) | OpKind::Pass => timing.register_arrival_ps(),
                         _ => in_arrivals.iter().copied().fold(0.0f64, f64::max),
                     };
-                    placed.insert(op_id, ScheduledOp { op: op_id, state, resource: None });
+                    placed.insert(
+                        op_id,
+                        ScheduledOp {
+                            op: op_id,
+                            state,
+                            resource: None,
+                        },
+                    );
                     arrival.insert(op_id, a);
                     placed_any = true;
                     continue;
@@ -246,11 +267,18 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
                     let slot = (res_id, fold(state));
                     let conflict = busy.get(&slot).map(|ops| {
                         ops.iter().any(|other| {
-                            !body.dfg.op(*other).predicate.mutually_exclusive(&op.predicate)
+                            !body
+                                .dfg
+                                .op(*other)
+                                .predicate
+                                .mutually_exclusive(&op.predicate)
                         })
                     });
                     if conflict == Some(true) {
-                        reasons.push(Restraint::ResourceContention { op: op_id, ty: inst.ty.clone() });
+                        reasons.push(Restraint::ResourceContention {
+                            op: op_id,
+                            ty: inst.ty.clone(),
+                        });
                         continue;
                     }
                     // timing check
@@ -259,7 +287,10 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
                     let slack = timing.slack_shared_ps(a, op.width, sharing);
                     best_slack = best_slack.max(slack);
                     if slack < 0.0 {
-                        reasons.push(Restraint::NegativeSlack { op: op_id, slack_ps: slack });
+                        reasons.push(Restraint::NegativeSlack {
+                            op: op_id,
+                            slack_ps: slack,
+                        });
                         continue;
                     }
                     // combinational cycle check
@@ -283,7 +314,10 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
                             }
                         }
                         if creates_cycle {
-                            reasons.push(Restraint::CombCycle { op: op_id, resource: res_id });
+                            reasons.push(Restraint::CombCycle {
+                                op: op_id,
+                                resource: res_id,
+                            });
                             continue;
                         }
                     }
@@ -303,7 +337,14 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
                         }
                     }
                     busy.entry(slot).or_default().push(op_id);
-                    placed.insert(op_id, ScheduledOp { op: op_id, state, resource: Some(res_id) });
+                    placed.insert(
+                        op_id,
+                        ScheduledOp {
+                            op: op_id,
+                            state,
+                            resource: Some(res_id),
+                        },
+                    );
                     arrival.insert(op_id, a);
                     min_slack = min_slack.min(slack);
                     // pin the SCC stage on first placement
@@ -318,13 +359,19 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
                     // If every instance was busy, also check whether a brand
                     // new instance would have met timing; if not, the real
                     // problem is slack, not hardware.
-                    if reasons.iter().all(|r| matches!(r, Restraint::ResourceContention { .. })) {
+                    if reasons
+                        .iter()
+                        .all(|r| matches!(r, Restraint::ResourceContention { .. }))
+                    {
                         if let Some(ty) = &required_ty {
                             let share = share_factor(&ty.class);
                             let a = timing.op_arrival_ps(&in_arrivals, share, ty);
                             let slack = timing.slack_shared_ps(a, op.width, sharing);
                             if slack < 0.0 {
-                                reasons.push(Restraint::NegativeSlack { op: op_id, slack_ps: slack });
+                                reasons.push(Restraint::NegativeSlack {
+                                    op: op_id,
+                                    slack_ps: slack,
+                                });
                             }
                         }
                     }
@@ -338,7 +385,10 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
                             .map(|(_, hi)| state >= hi)
                             .unwrap_or(false)
                         {
-                            reasons.push(Restraint::SccWindow { scc_index: scc_idx, op: op_id });
+                            reasons.push(Restraint::SccWindow {
+                                scc_index: scc_idx,
+                                op: op_id,
+                            });
                         }
                     }
                     let _ = best_slack;
@@ -358,10 +408,17 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
             ops: placed,
             resources: input.resources.clone(),
         };
-        let min_slack_ps = if min_slack.is_finite() { min_slack } else { config.clock.period_ps() };
+        let min_slack_ps = if min_slack.is_finite() {
+            min_slack
+        } else {
+            config.clock.period_ps()
+        };
         PassOutcome::Success { desc, min_slack_ps }
     } else {
-        let mut failure = PassFailure { scheduled: placed.len(), ..PassFailure::default() };
+        let mut failure = PassFailure {
+            scheduled: placed.len(),
+            ..PassFailure::default()
+        };
         for id in body.dfg.op_ids() {
             if placed.contains_key(&id) {
                 continue;
@@ -375,7 +432,9 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
             if let Some(rs) = last_reasons.get(&id) {
                 failure.restraints.extend(rs.clone());
             } else if let Some(ty) = ResourceType::for_op(body.dfg.op(id)) {
-                failure.restraints.push(Restraint::ResourceContention { op: id, ty });
+                failure
+                    .restraints
+                    .push(Restraint::ResourceContention { op: id, ty });
             }
         }
         PassOutcome::Failure(failure)
@@ -395,7 +454,12 @@ mod tests {
         prepare_innermost_loop(&mut cdfg).expect("prepare")
     }
 
-    fn run_pass(body: &LinearBody, latency: u32, config: &SchedulerConfig, resources: &ResourceSet) -> PassOutcome {
+    fn run_pass(
+        body: &LinearBody,
+        latency: u32,
+        config: &SchedulerConfig,
+        resources: &ResourceSet,
+    ) -> PassOutcome {
         let lib = TechLibrary::artisan_90nm_typical();
         let sccs = hls_ir::analysis::sccs(&body.dfg);
         let input = PassInput {
@@ -453,7 +517,11 @@ mod tests {
                     .map(|(id, _)| desc.state_of(id))
                     .collect();
                 mul_states.sort_unstable();
-                assert_eq!(mul_states, vec![0, 1, 2], "one multiplication per state (Table 2)");
+                assert_eq!(
+                    mul_states,
+                    vec![0, 1, 2],
+                    "one multiplication per state (Table 2)"
+                );
             }
             PassOutcome::Failure(f) => panic!("latency 3 must schedule: {:?}", f.restraints),
         }
@@ -490,7 +558,11 @@ mod tests {
                     if let Some(prev) = seen.insert((r.0, s.state), *id) {
                         let p1 = &body.dfg.op(prev).predicate;
                         let p2 = &body.dfg.op(*id).predicate;
-                        assert!(p1.mutually_exclusive(p2), "{prev} and {id} share {r:?} in state {}", s.state);
+                        assert!(
+                            p1.mutually_exclusive(p2),
+                            "{prev} and {id} share {r:?} in state {}",
+                            s.state
+                        );
                     }
                 }
             }
@@ -517,7 +589,11 @@ mod tests {
                     for j in (i + 1)..ops.len() {
                         let a = &body.dfg.op(ops[i]).predicate;
                         let b = &body.dfg.op(ops[j]).predicate;
-                        assert!(a.mutually_exclusive(b), "ops {:?} share a folded slot", (ops[i], ops[j]));
+                        assert!(
+                            a.mutually_exclusive(b),
+                            "ops {:?} share a folded slot",
+                            (ops[i], ops[j])
+                        );
                     }
                 }
             }

@@ -69,10 +69,16 @@ impl fmt::Display for Restraint {
                 write!(f, "no free {ty} instance for {op}")
             }
             Restraint::CombCycle { op, resource } => {
-                write!(f, "binding {op} to {resource} would create a combinational cycle")
+                write!(
+                    f,
+                    "binding {op} to {resource} would create a combinational cycle"
+                )
             }
             Restraint::SccWindow { scc_index, op } => {
-                write!(f, "operation {op} of SCC #{scc_index} cannot fit its pipeline stage window")
+                write!(
+                    f,
+                    "operation {op} of SCC #{scc_index} cannot fit its pipeline stage window"
+                )
             }
         }
     }
@@ -106,7 +112,9 @@ impl fmt::Display for RelaxAction {
         match self {
             RelaxAction::AddState => write!(f, "add state"),
             RelaxAction::AddResource(ty) => write!(f, "add resource {ty}"),
-            RelaxAction::MoveScc { scc_index } => write!(f, "move SCC #{scc_index} to the next stage"),
+            RelaxAction::MoveScc { scc_index } => {
+                write!(f, "move SCC #{scc_index} to the next stage")
+            }
             RelaxAction::ForbidBinding { op, resource } => {
                 write!(f, "forbid binding {op} → {resource}")
             }
@@ -129,7 +137,13 @@ pub fn choose_action(
     resources: &ResourceSet,
     failed_ops: &[OpId],
 ) -> Option<RelaxAction> {
-    let weight = |r: &Restraint| if failed_ops.contains(&r.op()) { 2.0 } else { 1.0 };
+    let weight = |r: &Restraint| {
+        if failed_ops.contains(&r.op()) {
+            2.0
+        } else {
+            1.0
+        }
+    };
 
     let mut candidates: Vec<(RelaxAction, f64)> = Vec::new();
 
@@ -137,7 +151,12 @@ pub fn choose_action(
     if latency < config.max_latency {
         let gain: f64 = restraints
             .iter()
-            .filter(|r| matches!(r, Restraint::NegativeSlack { .. } | Restraint::ResourceContention { .. }))
+            .filter(|r| {
+                matches!(
+                    r,
+                    Restraint::NegativeSlack { .. } | Restraint::ResourceContention { .. }
+                )
+            })
             .map(weight)
             .sum();
         if gain > 0.0 {
@@ -151,9 +170,9 @@ pub fn choose_action(
         let mut by_type: HashMap<String, (ResourceType, f64)> = HashMap::new();
         for r in restraints {
             if let Restraint::ResourceContention { op, ty } = r {
-                let also_slack = restraints.iter().any(|other| {
-                    matches!(other, Restraint::NegativeSlack { op: o, .. } if o == op)
-                });
+                let also_slack = restraints.iter().any(
+                    |other| matches!(other, Restraint::NegativeSlack { op: o, .. } if o == op),
+                );
                 if also_slack {
                     continue;
                 }
@@ -205,7 +224,10 @@ pub fn choose_action(
     for r in restraints {
         if let Restraint::CombCycle { op, resource } = r {
             candidates.push((
-                RelaxAction::ForbidBinding { op: *op, resource: *resource },
+                RelaxAction::ForbidBinding {
+                    op: *op,
+                    resource: *resource,
+                },
                 weight(r) - 0.2,
             ));
         }
@@ -240,9 +262,18 @@ mod tests {
         let op1 = OpId::from_raw(1);
         let op2 = OpId::from_raw(2);
         let restraints = vec![
-            Restraint::ResourceContention { op: op1, ty: mul32() },
-            Restraint::NegativeSlack { op: op1, slack_ps: -200.0 },
-            Restraint::NegativeSlack { op: op2, slack_ps: -200.0 },
+            Restraint::ResourceContention {
+                op: op1,
+                ty: mul32(),
+            },
+            Restraint::NegativeSlack {
+                op: op1,
+                slack_ps: -200.0,
+            },
+            Restraint::NegativeSlack {
+                op: op2,
+                slack_ps: -200.0,
+            },
         ];
         let action = choose_action(
             &restraints,
@@ -262,7 +293,10 @@ mod tests {
     fn pure_contention_adds_a_resource_when_states_exhausted() {
         let lib = TechLibrary::artisan_90nm_typical();
         let op1 = OpId::from_raw(1);
-        let restraints = vec![Restraint::ResourceContention { op: op1, ty: mul32() }];
+        let restraints = vec![Restraint::ResourceContention {
+            op: op1,
+            ty: mul32(),
+        }];
         // latency already at max → AddState unavailable
         let action = choose_action(
             &restraints,
@@ -275,7 +309,9 @@ mod tests {
             &[op1],
         )
         .expect("an action");
-        assert!(matches!(action, RelaxAction::AddResource(ty) if ty.class == ResourceClass::Multiplier));
+        assert!(
+            matches!(action, RelaxAction::AddResource(ty) if ty.class == ResourceClass::Multiplier)
+        );
     }
 
     #[test]
@@ -285,7 +321,10 @@ mod tests {
         let op = OpId::from_raw(3);
         let restraints = vec![
             Restraint::SccWindow { scc_index: 0, op },
-            Restraint::NegativeSlack { op, slack_ps: -300.0 },
+            Restraint::NegativeSlack {
+                op,
+                slack_ps: -300.0,
+            },
         ];
         let action = choose_action(
             &restraints,
@@ -304,10 +343,20 @@ mod tests {
     #[test]
     fn scc_move_is_disabled_by_the_ablation_flag() {
         let lib = TechLibrary::artisan_90nm_typical();
-        let cfg = SchedulerConfig::pipelined(ClockConstraint::from_period_ps(1600.0), 1, 4).without_scc_move();
+        let cfg = SchedulerConfig::pipelined(ClockConstraint::from_period_ps(1600.0), 1, 4)
+            .without_scc_move();
         let op = OpId::from_raw(3);
         let restraints = vec![Restraint::SccWindow { scc_index: 0, op }];
-        let action = choose_action(&restraints, &cfg, &lib, 3, 1, &HashMap::new(), &ResourceSet::new(), &[op]);
+        let action = choose_action(
+            &restraints,
+            &cfg,
+            &lib,
+            3,
+            1,
+            &HashMap::new(),
+            &ResourceSet::new(),
+            &[op],
+        );
         assert!(!matches!(action, Some(RelaxAction::MoveScc { .. })));
     }
 
@@ -349,7 +398,10 @@ mod tests {
 
     #[test]
     fn restraint_display_and_op() {
-        let r = Restraint::NegativeSlack { op: OpId::from_raw(2), slack_ps: -150.0 };
+        let r = Restraint::NegativeSlack {
+            op: OpId::from_raw(2),
+            slack_ps: -150.0,
+        };
         assert!(r.to_string().contains("-150"));
         assert_eq!(r.op(), OpId::from_raw(2));
         let a = RelaxAction::AddState;

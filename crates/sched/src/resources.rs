@@ -24,7 +24,9 @@ pub fn initial_resource_set(body: &LinearBody, slots_per_instance: u32) -> Resou
     // Group operations by a merged resource type per class/width bucket.
     let mut groups: BTreeMap<String, (ResourceType, Vec<hls_ir::OpId>)> = BTreeMap::new();
     for (id, op) in body.dfg.iter_ops() {
-        let Some(ty) = ResourceType::for_op(op) else { continue };
+        let Some(ty) = ResourceType::for_op(op) else {
+            continue;
+        };
         if matches!(ty.class, ResourceClass::IoPort) {
             continue; // port interfaces are not datapath resources
         }
@@ -51,9 +53,9 @@ pub fn initial_resource_set(body: &LinearBody, slots_per_instance: u32) -> Resou
         let mut effective = 0usize;
         for &op in &ops {
             let pred = &body.dfg.op(op).predicate;
-            let exclusive_partner = counted.iter().position(|&other| {
-                body.dfg.op(other).predicate.mutually_exclusive(pred)
-            });
+            let exclusive_partner = counted
+                .iter()
+                .position(|&other| body.dfg.op(other).predicate.mutually_exclusive(pred));
             if let Some(pos) = exclusive_partner {
                 counted.remove(pos);
             } else {
@@ -124,7 +126,11 @@ mod tests {
             b.write_port("y", b.read_var(v)),
             b.wait(),
         ];
-        let l = b.do_while("main", body_stmts, Expr::cmp(CmpKind::Ne, b.read_var(v), Expr::Const(0)));
+        let l = b.do_while(
+            "main",
+            body_stmts,
+            Expr::cmp(CmpKind::Ne, b.read_var(v), Expr::Const(0)),
+        );
         b.push(l);
         let mut cdfg = hls_frontend::elaborate(&b.build()).expect("elab");
         let body = prepare_innermost_loop(&mut cdfg).expect("prepare");

@@ -208,7 +208,9 @@ pub fn schedule_separated(
                 .iter()
                 .map(|sig| match sig.producer() {
                     Some(p) if sig.distance == 0 => match schedule_states.ops.get(&p) {
-                        Some(sp) if sp.state == s.state => timing.register_arrival_ps() + lib.delay_ps(&ty),
+                        Some(sp) if sp.state == s.state => {
+                            timing.register_arrival_ps() + lib.delay_ps(&ty)
+                        }
                         _ => timing.register_arrival_ps(),
                     },
                     _ => timing.register_arrival_ps(),
@@ -220,17 +222,23 @@ pub fn schedule_separated(
                 .dfg
                 .iter_ops()
                 .filter(|(_, o)| {
-                    hls_tech::ResourceType::for_op(o).map(|t| t.class == ty.class).unwrap_or(false)
+                    hls_tech::ResourceType::for_op(o)
+                        .map(|t| t.class == ty.class)
+                        .unwrap_or(false)
                 })
                 .count();
             let insts = shared.count_of_class(&ty.class).max(1);
             let a = timing.op_arrival_ps(&in_arrivals, ops_of_class.div_ceil(insts), &ty);
-            min_slack = min_slack.min(timing.slack_shared_ps(a, op.width, config.sharing_possible()));
+            min_slack =
+                min_slack.min(timing.slack_shared_ps(a, op.width, config.sharing_possible()));
         }
     }
     Ok(Schedule {
         latency: schedule_states.num_states,
-        desc: ScheduleDesc { resources: shared, ..schedule_states },
+        desc: ScheduleDesc {
+            resources: shared,
+            ..schedule_states
+        },
         min_slack_ps: min_slack,
         passes: 1,
         actions: Vec::new(),
@@ -268,8 +276,21 @@ mod tests {
             .expect("schedulable");
         assert_eq!(schedule.latency, 3);
         assert_eq!(schedule.cycles_per_iteration(), 3);
-        assert_eq!(schedule.desc.resources.count_of_class(&ResourceClass::Multiplier), 1);
-        assert!(schedule.actions.iter().filter(|a| matches!(a, RelaxAction::AddState)).count() >= 2);
+        assert_eq!(
+            schedule
+                .desc
+                .resources
+                .count_of_class(&ResourceClass::Multiplier),
+            1
+        );
+        assert!(
+            schedule
+                .actions
+                .iter()
+                .filter(|a| matches!(a, RelaxAction::AddState))
+                .count()
+                >= 2
+        );
         assert!(schedule.min_slack_ps >= 0.0);
         let table = schedule.table(&body);
         assert!(table.contains("mul1_op"));
@@ -285,7 +306,13 @@ mod tests {
             .expect("schedulable");
         assert_eq!(schedule.cycles_per_iteration(), 2);
         assert_eq!(schedule.latency, 3, "LI should stay at II+1 = 3");
-        assert_eq!(schedule.desc.resources.count_of_class(&ResourceClass::Multiplier), 2);
+        assert_eq!(
+            schedule
+                .desc
+                .resources
+                .count_of_class(&ResourceClass::Multiplier),
+            2
+        );
     }
 
     #[test]
@@ -298,12 +325,25 @@ mod tests {
             .run()
             .expect("schedulable");
         assert_eq!(schedule.cycles_per_iteration(), 1);
-        assert_eq!(schedule.desc.resources.count_of_class(&ResourceClass::Multiplier), 3);
-        assert!(schedule.latency >= 3, "LI must grow beyond 2 (two chained muls do not fit)");
+        assert_eq!(
+            schedule
+                .desc
+                .resources
+                .count_of_class(&ResourceClass::Multiplier),
+            3
+        );
+        assert!(
+            schedule.latency >= 3,
+            "LI must grow beyond 2 (two chained muls do not fit)"
+        );
         // the SCC sits in a single state
         let scc = &sccs(&body.dfg)[0];
         let states: HashSet<u32> = scc.ops.iter().map(|&o| schedule.desc.state_of(o)).collect();
-        assert_eq!(states.len(), 1, "SCC must be scheduled within one state at II=1");
+        assert_eq!(
+            states.len(),
+            1,
+            "SCC must be scheduled within one state at II=1"
+        );
     }
 
     #[test]
@@ -331,14 +371,21 @@ mod tests {
     fn fir_filter_pipelines_at_ii1() {
         // A feed-forward FIR has no recurrence, so II=1 must be achievable
         // (with enough multipliers).
-        let mut cdfg = hls_frontend::elaborate(&designs::fir_filter(&[3, -5, 7, 9], 16)).expect("elab");
+        let mut cdfg =
+            hls_frontend::elaborate(&designs::fir_filter(&[3, -5, 7, 9], 16)).expect("elab");
         let body = prepare_innermost_loop(&mut cdfg).expect("prepare");
         let lib = lib();
         let schedule = Scheduler::new(&body, &lib, SchedulerConfig::pipelined(clk(), 1, 12))
             .run()
             .expect("schedulable");
         assert_eq!(schedule.cycles_per_iteration(), 1);
-        assert!(schedule.desc.resources.count_of_class(&ResourceClass::Multiplier) >= 4);
+        assert!(
+            schedule
+                .desc
+                .resources
+                .count_of_class(&ResourceClass::Multiplier)
+                >= 4
+        );
     }
 
     #[test]
@@ -362,12 +409,20 @@ mod tests {
     fn tighter_clock_needs_more_states() {
         let body = example1();
         let lib = lib();
-        let relaxed = Scheduler::new(&body, &lib, SchedulerConfig::sequential(ClockConstraint::from_period_ps(2600.0), 1, 8))
-            .run()
-            .expect("relaxed clock");
-        let tight = Scheduler::new(&body, &lib, SchedulerConfig::sequential(ClockConstraint::from_period_ps(1250.0), 1, 8))
-            .run()
-            .expect("tight clock");
+        let relaxed = Scheduler::new(
+            &body,
+            &lib,
+            SchedulerConfig::sequential(ClockConstraint::from_period_ps(2600.0), 1, 8),
+        )
+        .run()
+        .expect("relaxed clock");
+        let tight = Scheduler::new(
+            &body,
+            &lib,
+            SchedulerConfig::sequential(ClockConstraint::from_period_ps(1250.0), 1, 8),
+        )
+        .run()
+        .expect("tight clock");
         assert!(tight.latency >= relaxed.latency);
     }
 }

@@ -23,7 +23,12 @@ pub struct Characterization {
 impl Characterization {
     /// A zero-cost characterization (used for free / wiring-only resources).
     pub fn zero() -> Self {
-        Characterization { delay_ps: 0.0, area: 0.0, leakage_uw: 0.0, energy_fj: 0.0 }
+        Characterization {
+            delay_ps: 0.0,
+            area: 0.0,
+            leakage_uw: 0.0,
+            energy_fj: 0.0,
+        }
     }
 
     /// Returns a copy scaled by per-field factors. Used by the analytical
@@ -69,7 +74,12 @@ mod tests {
 
     #[test]
     fn scaling_is_per_field() {
-        let c = Characterization { delay_ps: 100.0, area: 50.0, leakage_uw: 2.0, energy_fj: 10.0 };
+        let c = Characterization {
+            delay_ps: 100.0,
+            area: 50.0,
+            leakage_uw: 2.0,
+            energy_fj: 10.0,
+        };
         let s = c.scaled(2.0, 3.0, 0.5);
         assert_eq!(s.delay_ps, 200.0);
         assert_eq!(s.area, 150.0);
@@ -79,8 +89,18 @@ mod tests {
 
     #[test]
     fn addition_aggregates() {
-        let a = Characterization { delay_ps: 1.0, area: 2.0, leakage_uw: 3.0, energy_fj: 4.0 };
-        let b = Characterization { delay_ps: 10.0, area: 20.0, leakage_uw: 30.0, energy_fj: 40.0 };
+        let a = Characterization {
+            delay_ps: 1.0,
+            area: 2.0,
+            leakage_uw: 3.0,
+            energy_fj: 4.0,
+        };
+        let b = Characterization {
+            delay_ps: 10.0,
+            area: 20.0,
+            leakage_uw: 30.0,
+            energy_fj: 40.0,
+        };
         let s = a.add(&b);
         assert_eq!(s.delay_ps, 11.0);
         assert_eq!(s.area, 22.0);

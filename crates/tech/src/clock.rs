@@ -21,7 +21,10 @@ impl ClockConstraint {
     /// Panics if the period is not strictly positive.
     pub fn from_period_ps(period_ps: f64) -> Self {
         assert!(period_ps > 0.0, "clock period must be positive");
-        ClockConstraint { period_ps, uncertainty_ps: 0.0 }
+        ClockConstraint {
+            period_ps,
+            uncertainty_ps: 0.0,
+        }
     }
 
     /// Creates a constraint from a frequency in MHz.

@@ -95,7 +95,8 @@ impl TechLibrary {
 
     /// Delay of an `inputs`-way multiplexer of the given data width.
     pub fn mux_delay_ps(&self, inputs: u8, width: u16) -> f64 {
-        self.characterize(&ResourceType::mux(inputs, width)).delay_ps
+        self.characterize(&ResourceType::mux(inputs, width))
+            .delay_ps
     }
 
     /// Area of an `inputs`-way multiplexer of the given data width.
@@ -109,13 +110,20 @@ impl TechLibrary {
     }
 
     /// Characterization of a specific implementation variant.
-    pub fn characterize_variant(&self, rt: &ResourceType, variant: ImplVariant) -> Characterization {
+    pub fn characterize_variant(
+        &self,
+        rt: &ResourceType,
+        variant: ImplVariant,
+    ) -> Characterization {
         let base = self.reference(rt);
         let c = match variant {
             ImplVariant::Fast => base,
             ImplVariant::Small => base.scaled(1.6, 0.62, 0.8),
         };
-        Characterization { delay_ps: c.delay_ps * self.speed_derate, ..c }
+        Characterization {
+            delay_ps: c.delay_ps * self.speed_derate,
+            ..c
+        }
     }
 
     /// Worst-case combinational delay of the fast implementation, ps.
@@ -223,10 +231,27 @@ impl TechLibrary {
     /// multiplier, adder, comparators, register and sharing multiplexers.
     pub fn table1_rows(&self) -> Vec<(String, f64)> {
         vec![
-            ("mul".into(), self.delay_ps(&ResourceType::binary(ResourceClass::Multiplier, 32, 32, 32))),
-            ("add".into(), self.delay_ps(&ResourceType::binary(ResourceClass::Adder, 32, 32, 32))),
-            ("gt".into(), self.delay_ps(&ResourceType::binary(ResourceClass::Comparator, 32, 32, 1))),
-            ("neq".into(), self.delay_ps(&ResourceType::binary(ResourceClass::EqualityComparator, 32, 32, 1))),
+            (
+                "mul".into(),
+                self.delay_ps(&ResourceType::binary(ResourceClass::Multiplier, 32, 32, 32)),
+            ),
+            (
+                "add".into(),
+                self.delay_ps(&ResourceType::binary(ResourceClass::Adder, 32, 32, 32)),
+            ),
+            (
+                "gt".into(),
+                self.delay_ps(&ResourceType::binary(ResourceClass::Comparator, 32, 32, 1)),
+            ),
+            (
+                "neq".into(),
+                self.delay_ps(&ResourceType::binary(
+                    ResourceClass::EqualityComparator,
+                    32,
+                    32,
+                    1,
+                )),
+            ),
             ("ff".into(), self.register_clk_to_q_ps()),
             ("ff_en".into(), self.register_enable_clk_to_q_ps()),
             ("mux2".into(), self.mux_delay_ps(2, 32)),
@@ -280,7 +305,11 @@ mod tests {
     #[test]
     fn delay_is_monotone_in_width() {
         let lib = lib();
-        for class in [ResourceClass::Adder, ResourceClass::Multiplier, ResourceClass::Comparator] {
+        for class in [
+            ResourceClass::Adder,
+            ResourceClass::Multiplier,
+            ResourceClass::Comparator,
+        ] {
             let mut prev = 0.0;
             for w in [4u16, 8, 16, 32, 64] {
                 let d = lib.delay_ps(&ResourceType::binary(class.clone(), w, w, w));
@@ -293,7 +322,11 @@ mod tests {
     #[test]
     fn area_is_monotone_in_width() {
         let lib = lib();
-        for class in [ResourceClass::Adder, ResourceClass::Multiplier, ResourceClass::EqualityComparator] {
+        for class in [
+            ResourceClass::Adder,
+            ResourceClass::Multiplier,
+            ResourceClass::EqualityComparator,
+        ] {
             let mut prev = 0.0;
             for w in [4u16, 8, 16, 32, 64] {
                 let a = lib.area(&ResourceType::binary(class.clone(), w, w, w));
@@ -336,7 +369,11 @@ mod tests {
     #[test]
     fn io_ports_are_free() {
         let lib = lib();
-        let io = ResourceType { class: ResourceClass::IoPort, in_widths: vec![32], out_width: 32 };
+        let io = ResourceType {
+            class: ResourceClass::IoPort,
+            in_widths: vec![32],
+            out_width: 32,
+        };
         assert_eq!(lib.delay_ps(&io), 0.0);
         assert_eq!(lib.area(&io), 0.0);
     }
@@ -354,7 +391,10 @@ mod tests {
         let m16 = ResourceType::binary(ResourceClass::Multiplier, 16, 16, 16);
         let m32 = ResourceType::binary(ResourceClass::Multiplier, 32, 32, 32);
         assert!(lib.delay_ps(&m16) < lib.delay_ps(&m32));
-        assert!(lib.area(&m16) < lib.area(&m32) / 3.0, "area should scale ~quadratically");
+        assert!(
+            lib.area(&m16) < lib.area(&m32) / 3.0,
+            "area should scale ~quadratically"
+        );
     }
 
     #[test]

@@ -83,17 +83,29 @@ impl ResourceType {
     pub fn binary(class: ResourceClass, in_a: u16, in_b: u16, out: u16) -> Self {
         let mut in_widths = vec![in_a, in_b];
         in_widths.sort_unstable_by(|a, b| b.cmp(a));
-        ResourceType { class, in_widths, out_width: out }
+        ResourceType {
+            class,
+            in_widths,
+            out_width: out,
+        }
     }
 
     /// Creates a resource type for a single-operand resource.
     pub fn unary(class: ResourceClass, input: u16, out: u16) -> Self {
-        ResourceType { class, in_widths: vec![input], out_width: out }
+        ResourceType {
+            class,
+            in_widths: vec![input],
+            out_width: out,
+        }
     }
 
     /// Creates a register resource of the given width.
     pub fn register(width: u16) -> Self {
-        ResourceType { class: ResourceClass::Register, in_widths: vec![width], out_width: width }
+        ResourceType {
+            class: ResourceClass::Register,
+            in_widths: vec![width],
+            out_width: width,
+        }
     }
 
     /// Creates an n-input mux resource of the given data width.
@@ -124,7 +136,9 @@ impl ResourceType {
             OpKind::Div | OpKind::Rem => ResourceClass::Divider,
             OpKind::Shl | OpKind::Shr => ResourceClass::Shifter,
             OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Not => ResourceClass::Logic,
-            OpKind::Cmp(CmpKind::Eq) | OpKind::Cmp(CmpKind::Ne) => ResourceClass::EqualityComparator,
+            OpKind::Cmp(CmpKind::Eq) | OpKind::Cmp(CmpKind::Ne) => {
+                ResourceClass::EqualityComparator
+            }
             OpKind::Cmp(_) => ResourceClass::Comparator,
             OpKind::Mux => ResourceClass::Mux { inputs: 2 },
             OpKind::Read(_) | OpKind::Write(_) => ResourceClass::IoPort,
@@ -148,7 +162,11 @@ impl ResourceType {
             in_widths.push(op.width);
         }
         in_widths.sort_unstable_by(|a, b| b.cmp(a));
-        Some(ResourceType { class, in_widths, out_width: op.width })
+        Some(ResourceType {
+            class,
+            in_widths,
+            out_width: op.width,
+        })
     }
 
     /// Whether an operation can execute on this resource type: the classes
@@ -194,7 +212,10 @@ impl ResourceType {
     /// # Panics
     /// Panics if the classes differ; check [`ResourceType::can_merge`] first.
     pub fn merge(&self, other: &ResourceType) -> ResourceType {
-        assert_eq!(self.class, other.class, "cannot merge different resource classes");
+        assert_eq!(
+            self.class, other.class,
+            "cannot merge different resource classes"
+        );
         let len = self.in_widths.len().max(other.in_widths.len());
         let mut in_widths = Vec::with_capacity(len);
         for i in 0..len {
@@ -232,18 +253,24 @@ mod tests {
     use hls_ir::Signal;
 
     fn op(kind: OpKind, width: u16, in_widths: &[u16]) -> Operation {
-        let inputs = in_widths
-            .iter()
-            .map(|&w| Signal::constant(0, w))
-            .collect();
+        let inputs = in_widths.iter().map(|&w| Signal::constant(0, w)).collect();
         Operation::new(kind, width, inputs)
     }
 
     #[test]
     fn class_mapping() {
-        assert_eq!(ResourceType::class_for_kind(&OpKind::Add), Some(ResourceClass::Adder));
-        assert_eq!(ResourceType::class_for_kind(&OpKind::Sub), Some(ResourceClass::Adder));
-        assert_eq!(ResourceType::class_for_kind(&OpKind::Mul), Some(ResourceClass::Multiplier));
+        assert_eq!(
+            ResourceType::class_for_kind(&OpKind::Add),
+            Some(ResourceClass::Adder)
+        );
+        assert_eq!(
+            ResourceType::class_for_kind(&OpKind::Sub),
+            Some(ResourceClass::Adder)
+        );
+        assert_eq!(
+            ResourceType::class_for_kind(&OpKind::Mul),
+            Some(ResourceClass::Multiplier)
+        );
         assert_eq!(
             ResourceType::class_for_kind(&OpKind::Cmp(CmpKind::Gt)),
             Some(ResourceClass::Comparator)
@@ -312,7 +339,10 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(ResourceType::binary(ResourceClass::Multiplier, 32, 32, 32).name(), "mul_32x32");
+        assert_eq!(
+            ResourceType::binary(ResourceClass::Multiplier, 32, 32, 32).name(),
+            "mul_32x32"
+        );
         assert_eq!(ResourceType::register(32).name(), "ff_32");
         assert_eq!(ResourceType::mux(3, 32).name(), "mux3_32x32x32");
     }
@@ -326,7 +356,14 @@ mod tests {
 
     #[test]
     fn ip_block_class_carries_name() {
-        let call = Operation::new(OpKind::Call { name: "sqrt".into(), latency: 3 }, 32, vec![]);
+        let call = Operation::new(
+            OpKind::Call {
+                name: "sqrt".into(),
+                latency: 3,
+            },
+            32,
+            vec![],
+        );
         let rt = ResourceType::for_op(&call).unwrap();
         assert_eq!(rt.class, ResourceClass::IpBlock("sqrt".into()));
         assert!(rt.name().contains("sqrt"));

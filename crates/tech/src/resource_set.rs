@@ -100,7 +100,10 @@ impl ResourceSet {
 
     /// Number of instances of a given class.
     pub fn count_of_class(&self, class: &ResourceClass) -> usize {
-        self.instances.iter().filter(|i| &i.ty.class == class).count()
+        self.instances
+            .iter()
+            .filter(|i| &i.ty.class == class)
+            .count()
     }
 
     /// Number of instances of a given exact type.

@@ -7,7 +7,10 @@ use hls::Synthesizer;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let taps = [3, -5, 7, 11, 11, 7, -5, 3];
     println!("8-tap FIR, 1600 ps clock");
-    println!("  {:>4} {:>8} {:>8} {:>10} {:>10}", "II", "LI", "stages", "area", "power_uW");
+    println!(
+        "  {:>4} {:>8} {:>8} {:>10} {:>10}",
+        "II", "LI", "stages", "area", "power_uW"
+    );
     for ii in [4u32, 2, 1] {
         let result = Synthesizer::new(fir_filter(&taps, 16))
             .clock_ps(1600.0)
@@ -20,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             folded.ii, folded.li, folded.stages, result.area, result.power_uw
         );
     }
-    let seq = Synthesizer::new(fir_filter(&taps, 16)).clock_ps(1600.0).latency_bounds(1, 16).run()?;
+    let seq = Synthesizer::new(fir_filter(&taps, 16))
+        .clock_ps(1600.0)
+        .latency_bounds(1, 16)
+        .run()?;
     println!(
         "  {:>4} {:>8} {:>8} {:>10.0} {:>10.1}   (sequential)",
         "-", seq.schedule.latency, 1, seq.area, seq.power_uw

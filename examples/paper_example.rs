@@ -11,7 +11,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let t2 = table2_example1_schedule();
-    println!("\nTABLE 2 — sequential schedule (latency {}, {} passes)\n{}", t2.latency, t2.passes, t2.table);
+    println!(
+        "\nTABLE 2 — sequential schedule (latency {}, {} passes)\n{}",
+        t2.latency, t2.passes, t2.table
+    );
 
     println!("TABLE 3 — micro-architecture comparison");
     for row in table3_microarchitectures() {
@@ -22,10 +25,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nExample 2 — pipelined, II = 2");
-    let p2 = Synthesizer::new(designs::paper_example1()).clock_ps(1600.0).latency_bounds(1, 6).pipeline(2).run()?;
+    let p2 = Synthesizer::new(designs::paper_example1())
+        .clock_ps(1600.0)
+        .latency_bounds(1, 6)
+        .pipeline(2)
+        .run()?;
     println!("{}", p2.schedule_table());
     println!("Example 3 — pipelined, II = 1");
-    let p1 = Synthesizer::new(designs::paper_example1()).clock_ps(1600.0).latency_bounds(1, 6).pipeline(1).run()?;
+    let p1 = Synthesizer::new(designs::paper_example1())
+        .clock_ps(1600.0)
+        .latency_bounds(1, 6)
+        .pipeline(1)
+        .run()?;
     println!("{}", p1.schedule_table());
     Ok(())
 }

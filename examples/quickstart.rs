@@ -13,27 +13,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.port_out("y", 32);
     let acc = b.var("acc", 32, 0);
     let body = vec![
-        b.assign(acc, Expr::add(Expr::mul(b.read_port("a"), b.read_port("b")), b.read_port("c"))),
+        b.assign(
+            acc,
+            Expr::add(
+                Expr::mul(b.read_port("a"), b.read_port("b")),
+                b.read_port("c"),
+            ),
+        ),
         b.write_port("y", b.read_var(acc)),
         b.wait(),
     ];
-    let loop_stmt = b.do_while("mac_loop", body, Expr::cmp(CmpKind::Ne, b.read_port("a"), Expr::Const(0)));
+    let loop_stmt = b.do_while(
+        "mac_loop",
+        body,
+        Expr::cmp(CmpKind::Ne, b.read_port("a"), Expr::Const(0)),
+    );
     b.infinite_loop(vec![loop_stmt]);
     let behavior = b.build();
 
     println!("== sequential ==");
-    let seq = Synthesizer::new(behavior.clone()).clock_ps(1600.0).latency_bounds(1, 4).run()?;
+    let seq = Synthesizer::new(behavior.clone())
+        .clock_ps(1600.0)
+        .latency_bounds(1, 4)
+        .run()?;
     println!("{}", seq.schedule_table());
-    println!("latency {} cycles, area {:.0}, power {:.1} uW", seq.schedule.latency, seq.area, seq.power_uw);
+    println!(
+        "latency {} cycles, area {:.0}, power {:.1} uW",
+        seq.schedule.latency, seq.area, seq.power_uw
+    );
 
     println!("\n== pipelined, II = 1 ==");
-    let pipe = Synthesizer::new(behavior).clock_ps(1600.0).latency_bounds(1, 6).pipeline(1).run()?;
+    let pipe = Synthesizer::new(behavior)
+        .clock_ps(1600.0)
+        .latency_bounds(1, 6)
+        .pipeline(1)
+        .run()?;
     println!("{}", pipe.schedule_table());
     let folded = pipe.pipeline.as_ref().expect("pipelined");
     println!(
         "II {} / LI {} ({} stages), area {:.0}, power {:.1} uW",
         folded.ii, folded.li, folded.stages, pipe.area, pipe.power_uw
     );
-    println!("\nThroughput gain: {:.1}x", seq.schedule.cycles_per_iteration() as f64 / folded.ii as f64);
+    println!(
+        "\nThroughput gain: {:.1}x",
+        seq.schedule.cycles_per_iteration() as f64 / folded.ii as f64
+    );
     Ok(())
 }

@@ -1,0 +1,9 @@
+//! Root package of the `rpp-hls` workspace.
+//!
+//! This crate intentionally exports nothing: it exists so the workspace-level
+//! integration tests under `tests/` and the examples under `examples/` have a
+//! package to belong to. The actual library surface lives in the `hls` facade
+//! crate (`crates/core`) and the `hls-*` member crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -1,7 +1,9 @@
 //! Smoke tests of the experiment drivers (reduced sizes) — the full versions
 //! run under `cargo bench`.
 use hls::explore::experiments::{idct_exploration, table4_scc_move_ablation};
-use hls::explore::{figure9_scheduling_time, pareto_front, table1_library, table2_example1_schedule};
+use hls::explore::{
+    figure9_scheduling_time, pareto_front, table1_library, table2_example1_schedule,
+};
 
 #[test]
 fn table1_has_all_eight_rows() {
@@ -25,12 +27,18 @@ fn figure9_smoke() {
 #[test]
 fn figure10_smoke_pipelining_reaches_lowest_delay() {
     let points = idct_exploration(&[1600.0]);
-    let best_delay = points.iter().map(|p| p.delay_ns).fold(f64::INFINITY, f64::min);
+    let best_delay = points
+        .iter()
+        .map(|p| p.delay_ns)
+        .fold(f64::INFINITY, f64::min);
     let best_is_pipelined = points
         .iter()
         .filter(|p| (p.delay_ns - best_delay).abs() < 1e-9)
         .any(|p| p.family.starts_with("Pipelined"));
-    assert!(best_is_pipelined, "the fastest implementation should be pipelined");
+    assert!(
+        best_is_pipelined,
+        "the fastest implementation should be pipelined"
+    );
     assert!(!pareto_front(&points).is_empty());
 }
 

@@ -19,7 +19,11 @@ module scaler {
 }
 "#;
     let behavior = parse(src).expect("parses");
-    let result = Synthesizer::new(behavior).clock_ps(1600.0).latency_bounds(1, 4).run().expect("synthesizes");
+    let result = Synthesizer::new(behavior)
+        .clock_ps(1600.0)
+        .latency_bounds(1, 4)
+        .run()
+        .expect("synthesizes");
     // the RTL is emitted for the linearized loop body (the implicit thread loop)
     assert!(result.rtl.contains("module"));
     assert!(result.rtl.contains("acc"));
@@ -28,30 +32,65 @@ module scaler {
 
 #[test]
 fn moving_average_sequential_and_pipelined_agree_on_resources() {
-    let seq = Synthesizer::new(moving_average(4, 16)).clock_ps(1600.0).latency_bounds(1, 4).run().expect("seq");
-    let pipe = Synthesizer::new(moving_average(4, 16)).clock_ps(1600.0).latency_bounds(1, 6).pipeline(1).run().expect("pipe");
+    let seq = Synthesizer::new(moving_average(4, 16))
+        .clock_ps(1600.0)
+        .latency_bounds(1, 4)
+        .run()
+        .expect("seq");
+    let pipe = Synthesizer::new(moving_average(4, 16))
+        .clock_ps(1600.0)
+        .latency_bounds(1, 6)
+        .pipeline(1)
+        .run()
+        .expect("pipe");
     assert_eq!(pipe.schedule.cycles_per_iteration(), 1);
     assert!(pipe.schedule.cycles_per_iteration() <= seq.schedule.cycles_per_iteration());
-    assert!(pipe.area >= seq.area * 0.8, "pipelining should not magically shrink the datapath");
+    assert!(
+        pipe.area >= seq.area * 0.8,
+        "pipelining should not magically shrink the datapath"
+    );
 }
 
 #[test]
 fn fir_resources_grow_with_throughput() {
     use hls::tech::ResourceClass;
-    let slow = Synthesizer::new(fir_filter(&[3, 5, 7, 11], 16)).clock_ps(1600.0).latency_bounds(1, 12).pipeline(4).run().expect("ii4");
-    let fast = Synthesizer::new(fir_filter(&[3, 5, 7, 11], 16)).clock_ps(1600.0).latency_bounds(1, 12).pipeline(1).run().expect("ii1");
+    let slow = Synthesizer::new(fir_filter(&[3, 5, 7, 11], 16))
+        .clock_ps(1600.0)
+        .latency_bounds(1, 12)
+        .pipeline(4)
+        .run()
+        .expect("ii4");
+    let fast = Synthesizer::new(fir_filter(&[3, 5, 7, 11], 16))
+        .clock_ps(1600.0)
+        .latency_bounds(1, 12)
+        .pipeline(1)
+        .run()
+        .expect("ii1");
     // II=1 forbids sharing: one multiplier per multiplication, against one
     // shared multiplier at II=4 (narrow 16-bit multipliers are cheap enough
     // that register/mux overheads dominate total area, so the robust claim is
     // about functional units and throughput, not total area).
-    let muls = |r: &hls::SynthesisResult| r.schedule.desc.resources.count_of_class(&ResourceClass::Multiplier);
+    let muls = |r: &hls::SynthesisResult| {
+        r.schedule
+            .desc
+            .resources
+            .count_of_class(&ResourceClass::Multiplier)
+    };
     assert!(muls(&fast) > muls(&slow));
     assert!(fast.schedule.cycles_per_iteration() < slow.schedule.cycles_per_iteration());
 }
 
 #[test]
 fn faster_clock_costs_more_states() {
-    let relaxed = Synthesizer::new(fir_filter(&[1, 2, 3, 4], 16)).clock_ps(3200.0).latency_bounds(1, 16).run().expect("3.2ns");
-    let tight = Synthesizer::new(fir_filter(&[1, 2, 3, 4], 16)).clock_ps(1250.0).latency_bounds(1, 16).run().expect("1.25ns");
+    let relaxed = Synthesizer::new(fir_filter(&[1, 2, 3, 4], 16))
+        .clock_ps(3200.0)
+        .latency_bounds(1, 16)
+        .run()
+        .expect("3.2ns");
+    let tight = Synthesizer::new(fir_filter(&[1, 2, 3, 4], 16))
+        .clock_ps(1250.0)
+        .latency_bounds(1, 16)
+        .run()
+        .expect("1.25ns");
     assert!(tight.schedule.latency >= relaxed.schedule.latency);
 }

@@ -12,9 +12,19 @@ fn example1_sequential_three_states_one_multiplier() {
         .expect("Example 1 must synthesize");
     assert_eq!(result.schedule.latency, 3, "Table 2: three states");
     assert_eq!(result.schedule.cycles_per_iteration(), 3);
-    assert_eq!(result.schedule.desc.resources.count_of_class(&ResourceClass::Multiplier), 1);
+    assert_eq!(
+        result
+            .schedule
+            .desc
+            .resources
+            .count_of_class(&ResourceClass::Multiplier),
+        1
+    );
     // the scheduler needed relaxation: it started from latency 1
-    assert!(result.schedule.passes >= 3, "two add-state relaxations expected");
+    assert!(
+        result.schedule.passes >= 3,
+        "two add-state relaxations expected"
+    );
 }
 
 #[test]
@@ -29,7 +39,14 @@ fn example2_pipelined_ii2_two_multipliers_li3() {
     assert_eq!(folded.ii, 2);
     assert_eq!(folded.li, 3);
     assert_eq!(folded.stages, 2);
-    assert_eq!(result.schedule.desc.resources.count_of_class(&ResourceClass::Multiplier), 2);
+    assert_eq!(
+        result
+            .schedule
+            .desc
+            .resources
+            .count_of_class(&ResourceClass::Multiplier),
+        2
+    );
 }
 
 #[test]
@@ -42,8 +59,18 @@ fn example3_pipelined_ii1_three_multipliers() {
         .expect("Example 3 must synthesize");
     let folded = result.pipeline.expect("folded");
     assert_eq!(folded.ii, 1);
-    assert!(folded.li >= 3, "LI must exceed 2 because two muls cannot chain in one cycle");
-    assert_eq!(result.schedule.desc.resources.count_of_class(&ResourceClass::Multiplier), 3);
+    assert!(
+        folded.li >= 3,
+        "LI must exceed 2 because two muls cannot chain in one cycle"
+    );
+    assert_eq!(
+        result
+            .schedule
+            .desc
+            .resources
+            .count_of_class(&ResourceClass::Multiplier),
+        3
+    );
 }
 
 #[test]

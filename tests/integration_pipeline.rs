@@ -16,9 +16,13 @@ fn example1_body() -> hls::ir::LinearBody {
 fn folded_pipeline_preserves_operation_count_and_deps() {
     let body = example1_body();
     let lib = TechLibrary::artisan_90nm_typical();
-    let schedule = Scheduler::new(&body, &lib, SchedulerConfig::pipelined(ClockConstraint::from_period_ps(1600.0), 2, 6))
-        .run()
-        .expect("schedulable");
+    let schedule = Scheduler::new(
+        &body,
+        &lib,
+        SchedulerConfig::pipelined(ClockConstraint::from_period_ps(1600.0), 2, 6),
+    )
+    .run()
+    .expect("schedulable");
     let folded = fold_schedule(&body, &schedule).expect("foldable");
     let total: usize = folded.folded_states.iter().map(Vec::len).sum();
     assert_eq!(total, body.dfg.num_ops());
@@ -34,12 +38,19 @@ fn scc_is_confined_to_one_stage() {
     let body = example1_body();
     let lib = TechLibrary::artisan_90nm_typical();
     for ii in [1u32, 2] {
-        let schedule = Scheduler::new(&body, &lib, SchedulerConfig::pipelined(ClockConstraint::from_period_ps(1600.0), ii, 8))
-            .run()
-            .expect("schedulable");
+        let schedule = Scheduler::new(
+            &body,
+            &lib,
+            SchedulerConfig::pipelined(ClockConstraint::from_period_ps(1600.0), ii, 8),
+        )
+        .run()
+        .expect("schedulable");
         for scc in sccs(&body.dfg) {
-            let stages: std::collections::HashSet<u32> =
-                scc.ops.iter().map(|&o| schedule.desc.state_of(o) / ii).collect();
+            let stages: std::collections::HashSet<u32> = scc
+                .ops
+                .iter()
+                .map(|&o| schedule.desc.state_of(o) / ii)
+                .collect();
             assert_eq!(stages.len(), 1, "SCC spans stages {stages:?} at II={ii}");
         }
     }
@@ -49,9 +60,13 @@ fn scc_is_confined_to_one_stage() {
 fn steady_state_throughput_matches_ii() {
     let body = example1_body();
     let lib = TechLibrary::artisan_90nm_typical();
-    let schedule = Scheduler::new(&body, &lib, SchedulerConfig::pipelined(ClockConstraint::from_period_ps(1600.0), 2, 6))
-        .run()
-        .expect("schedulable");
+    let schedule = Scheduler::new(
+        &body,
+        &lib,
+        SchedulerConfig::pipelined(ClockConstraint::from_period_ps(1600.0), 2, 6),
+    )
+    .run()
+    .expect("schedulable");
     let folded = fold_schedule(&body, &schedule).expect("foldable");
     // 1000 iterations: LI + 999*II cycles
     assert_eq!(folded.total_cycles(1000), u64::from(folded.li) + 999 * 2);
@@ -61,11 +76,19 @@ fn steady_state_throughput_matches_ii() {
 fn modulo_baseline_needs_at_least_the_unified_ii() {
     let body = example1_body();
     let lib = TechLibrary::artisan_90nm_typical();
-    let unified = Scheduler::new(&body, &lib, SchedulerConfig::pipelined(ClockConstraint::from_period_ps(1600.0), 2, 8))
-        .run()
-        .expect("unified");
+    let unified = Scheduler::new(
+        &body,
+        &lib,
+        SchedulerConfig::pipelined(ClockConstraint::from_period_ps(1600.0), 2, 8),
+    )
+    .run()
+    .expect("unified");
     let baseline = modulo_schedule(&body, &lib, 1600.0, 1, 8, |c| {
-        if matches!(c, hls::tech::ResourceClass::Multiplier) { 2 } else { 4 }
+        if matches!(c, hls::tech::ResourceClass::Multiplier) {
+            2
+        } else {
+            4
+        }
     })
     .expect("baseline");
     assert!(baseline.ii >= unified.desc.ii.unwrap_or(2) || baseline.ii >= 1);

@@ -1,0 +1,212 @@
+//! Minimal, offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset the `hls-bench` targets use: the [`Criterion`]
+//! builder (`sample_size`, `measurement_time`, `warm_up_time`),
+//! [`Criterion::bench_function`] with [`Bencher::iter`], plus the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Timing is a plain
+//! wall-clock mean/min/max over `sample_size` samples — no outlier analysis,
+//! no plots — which is enough to print the paper-figure tables and compare
+//! runs by hand.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a computed value.
+///
+/// A portable best-effort substitute for `criterion::black_box` (reads the
+/// value through a volatile-ish opaque path via `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver and configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the time budget for the measurement phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the time budget for the warm-up phase.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark: warm-up, then `sample_size` timed samples (capped
+    /// by `measurement_time`), then prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+
+        // Warm-up: run the routine until the warm-up budget elapses.
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            f(&mut bencher);
+            if bencher.iterations == 0 {
+                break; // routine never called iter(); avoid spinning forever
+            }
+        }
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let measure_end = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            bencher.total = Duration::ZERO;
+            bencher.iterations = 0;
+            f(&mut bencher);
+            if bencher.iterations > 0 {
+                samples.push(bencher.total / bencher.iterations);
+            }
+            if Instant::now() >= measure_end {
+                break;
+            }
+        }
+
+        if samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return self;
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{id:<50} time: [{} {} {}] ({} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            samples.len()
+        );
+        self
+    }
+
+    /// Final hook run by [`criterion_main!`]; a no-op in this stand-in.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Times closures inside a benchmark routine.
+#[derive(Clone, Debug)]
+pub struct Bencher {
+    total: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Times one invocation of `routine` (accumulated into the sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.total += start.elapsed();
+        self.iterations += 1;
+        drop(black_box(out));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group! {
+        name = unit_benches;
+        config = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        targets = quick
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        unit_benches();
+    }
+
+    #[test]
+    fn bencher_accumulates_iterations() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u32;
+        c.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Minimal, deterministic stand-in for the `proptest` crate.
+//!
+//! Implements the subset used by this workspace's property tests:
+//!
+//! * the [`Strategy`] trait with integer-range strategies, [`Just`],
+//!   [`any`] and the [`prop_oneof!`] union;
+//! * the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//!   attribute) expanding each property into an ordinary `#[test]` that runs
+//!   `cases` deterministic iterations;
+//! * `prop_assert!` / `prop_assert_eq!` returning [`TestCaseError`].
+//!
+//! There is no shrinking: a failing case panics with the values embedded in
+//! the message, which is enough to reproduce (generation is seeded per case
+//! index).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Everything a test usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestRunner,
+    };
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Maximum local rejects (accepted for API compatibility, unused).
+    pub max_local_rejects: u32,
+    /// Maximum global rejects (accepted for API compatibility, unused).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_local_rejects: 65_536,
+            max_global_rejects: 1_024,
+        }
+    }
+}
+
+/// Error produced by a failing property case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+
+    /// Creates a rejection (treated as failure in this stand-in).
+    pub fn reject(message: impl Into<String>) -> Self {
+        Self::fail(message)
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic per-test random source.
+#[derive(Clone, Debug)]
+pub struct TestRunner {
+    rng: SmallRng,
+}
+
+impl TestRunner {
+    /// Creates the runner for the given case index (deterministic seed).
+    pub fn for_case(case: u32) -> Self {
+        TestRunner {
+            rng: SmallRng::seed_from_u64(0x5eed_0000_0000_0000 ^ u64::from(case)),
+        }
+    }
+
+    /// Access to the underlying RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// A value-generation strategy.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// Object-safe façade used by [`BoxedStrategy`].
+trait DynStrategy {
+    type Value;
+    fn dyn_generate(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn dyn_generate(&self, runner: &mut TestRunner) -> S::Value {
+        self.generate(runner)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V> {
+    inner: Box<dyn DynStrategy<Value = V>>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        self.inner.dyn_generate(runner)
+    }
+}
+
+/// Strategy producing a constant value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Marker for types with a canonical arbitrary strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(runner: &mut TestRunner) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(runner: &mut TestRunner) -> bool {
+        runner.rng().gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(runner: &mut TestRunner) -> u32 {
+        runner.rng().gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(runner: &mut TestRunner) -> u64 {
+        runner.rng().gen()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(runner: &mut TestRunner) -> usize {
+        runner.rng().next_u64() as usize
+    }
+}
+
+/// Strategy for any value of an [`Arbitrary`] type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        T::arbitrary(runner)
+    }
+}
+
+/// Returns the canonical strategy for `T` (like `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+/// A uniform choice among boxed strategies (backs [`prop_oneof!`]).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over the given options; must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        let idx = runner.rng().gen_range(0..self.options.len());
+        self.options[idx].generate(runner)
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts a condition inside a property, returning a test-case failure
+/// instead of panicking so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+}
+
+/// Declares property tests. Each property becomes a `#[test]` running
+/// `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut runner = $crate::TestRunner::for_case(case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut runner);)+
+                    let case_desc = format!(
+                        concat!($(stringify!($arg), " = {:?}, "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = outcome {
+                        panic!("property failed at case #{case} [{case_desc}]: {e}");
+                    }
+                }
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Tag {
+        A,
+        B,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_unions_generate_valid_values(
+            n in 5usize..10,
+            tag in prop_oneof![Just(Tag::A), Just(Tag::B)],
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((5..10).contains(&n));
+            prop_assert!(matches!(tag, Tag::A | Tag::B));
+            let _ = flag;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(x in 0u64..4) {
+            prop_assert!(x < 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_panics_with_case_values() {
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
+            fn always_fails(x in 0u64..4) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,21 @@
+//! Minimal, offline stand-in for the `serde` crate.
+//!
+//! The workspace only *derives* `Serialize` / `Deserialize` to mark result
+//! types as serializable — nothing actually serializes them (there is no
+//! `serde_json` in the tree). The traits here are therefore empty markers,
+//! and the derive macros (re-exported from the `serde_derive` stub, exactly
+//! like the real crate re-exports them) emit empty impls. Swapping in the
+//! real serde later requires no source changes in the consuming crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// Like the real crate: the derive macros share the traits' names (macros
+// live in a separate namespace, so the glob re-export does not collide).
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,67 @@
+//! Derive-macro half of the offline `serde` stand-in.
+//!
+//! Emits empty impls of the marker traits in the sibling `serde` stub. Only
+//! supports the shapes this workspace actually derives on: non-generic
+//! `struct`s and `enum`s (with any fields/variants — the bodies are ignored).
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier following the `struct`/`enum` keyword.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_kw = false;
+    for tree in input.clone() {
+        if let TokenTree::Ident(ident) = tree {
+            let s = ident.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde_derive stub: expected a struct or enum");
+}
+
+/// Rejects generic types: the stub emits non-generic impls only.
+fn assert_not_generic(input: &TokenStream, name: &str) {
+    let mut after_name = false;
+    for tree in input.clone() {
+        match tree {
+            TokenTree::Ident(ident) if ident.to_string() == name => after_name = true,
+            TokenTree::Punct(p) if after_name => {
+                if p.as_char() == '<' {
+                    panic!(
+                        "serde_derive stub: generic type `{name}` is not supported; \
+                         use the real serde crate"
+                    );
+                }
+                break;
+            }
+            TokenTree::Group(_) if after_name => break,
+            _ => {}
+        }
+    }
+}
+
+/// Stand-in for `#[derive(Serialize)]`: emits an empty marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    assert_not_generic(&input, &name);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}
+
+/// Stand-in for `#[derive(Deserialize)]`: emits an empty marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    assert_not_generic(&input, &name);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}

@@ -34,6 +34,7 @@ pub use hls_netlist as netlist;
 pub use hls_opt as opt;
 pub use hls_pipeline as pipeline;
 pub use hls_sched as sched;
+pub use hls_sim as sim;
 pub use hls_tech as tech;
 
 use hls_frontend::{elaborate, Behavior};
@@ -59,6 +60,9 @@ pub enum SynthesisError {
     Scheduling(hls_sched::SchedError),
     /// Pipeline folding failed.
     Folding(hls_pipeline::FoldError),
+    /// Differential verification failed: the cycle-accurate simulation of
+    /// the schedule disagrees with the reference interpreter.
+    Verification(hls_sim::SimError),
 }
 
 impl fmt::Display for SynthesisError {
@@ -68,6 +72,7 @@ impl fmt::Display for SynthesisError {
             SynthesisError::Optimizer(e) => write!(f, "optimizer: {e}"),
             SynthesisError::Scheduling(e) => write!(f, "scheduler: {e}"),
             SynthesisError::Folding(e) => write!(f, "pipeline folding: {e}"),
+            SynthesisError::Verification(e) => write!(f, "differential verification: {e}"),
         }
     }
 }
@@ -94,6 +99,11 @@ impl From<hls_pipeline::FoldError> for SynthesisError {
         SynthesisError::Folding(e)
     }
 }
+impl From<hls_sim::SimError> for SynthesisError {
+    fn from(e: hls_sim::SimError) -> Self {
+        SynthesisError::Verification(e)
+    }
+}
 
 /// The result of one synthesis run.
 #[derive(Debug)]
@@ -110,6 +120,10 @@ pub struct SynthesisResult {
     pub power_uw: f64,
     /// Generated RTL text.
     pub rtl: String,
+    /// Differential-verification summary, when [`Synthesizer::verify`] was
+    /// requested: the schedule was executed cycle-accurately against the
+    /// reference interpreter on random input vectors and agreed bit-exactly.
+    pub verification: Option<hls_sim::DifferentialReport>,
 }
 
 impl SynthesisResult {
@@ -130,6 +144,7 @@ pub struct Synthesizer {
     allow_scc_move: bool,
     library: TechLibrary,
     loop_label: Option<String>,
+    verify_vectors: Option<usize>,
 }
 
 impl Synthesizer {
@@ -144,6 +159,7 @@ impl Synthesizer {
             allow_scc_move: true,
             library: TechLibrary::artisan_90nm_typical(),
             loop_label: None,
+            verify_vectors: None,
         }
     }
 
@@ -199,6 +215,15 @@ impl Synthesizer {
         self
     }
 
+    /// Differentially verifies the produced schedule: the cycle-accurate
+    /// simulation (`hls-sim`) is run against the reference interpreter on
+    /// `vectors` random input vectors and must agree bit-exactly, or the run
+    /// fails with [`SynthesisError::Verification`].
+    pub fn verify(mut self, vectors: usize) -> Self {
+        self.verify_vectors = Some(vectors);
+        self
+    }
+
     fn config(&self) -> SchedulerConfig {
         let clock = ClockConstraint::from_period_ps(self.clock_ps);
         let mut config = match self.ii {
@@ -243,6 +268,15 @@ impl Synthesizer {
             Some(_) => Some(fold_schedule(&body, &schedule)?),
             None => None,
         };
+        let verification = match self.verify_vectors {
+            Some(vectors) => Some(hls_sim::differential::random_check(
+                &body,
+                &schedule.desc,
+                vectors,
+                0x5EED,
+            )?),
+            None => None,
+        };
         let slack_fraction = (schedule.min_slack_ps / clock.period_ps()).clamp(0.0, 0.9);
         let dp =
             Datapath::from_schedule(&body, &schedule.desc, &self.library, clock, slack_fraction);
@@ -254,6 +288,7 @@ impl Synthesizer {
             area: dp.total_area(),
             power_uw: dp.total_power_uw(),
             rtl,
+            verification,
         })
     }
 }
@@ -282,6 +317,13 @@ impl BodySynthesizer {
     /// Requests pipelining with the given initiation interval.
     pub fn pipeline(mut self, ii: u32) -> Self {
         self.inner = self.inner.pipeline(ii);
+        self
+    }
+
+    /// Differentially verifies the produced schedule (see
+    /// [`Synthesizer::verify`]).
+    pub fn verify(mut self, vectors: usize) -> Self {
+        self.inner = self.inner.verify(vectors);
         self
     }
 
@@ -337,6 +379,27 @@ mod tests {
             .run()
             .expect("synthesizable");
         assert!(result.schedule.latency <= 16);
+    }
+
+    #[test]
+    fn verified_synthesis_reports_bit_exact_agreement() {
+        let result = Synthesizer::new(designs::paper_example1())
+            .clock_ps(1600.0)
+            .latency_bounds(1, 6)
+            .pipeline(2)
+            .verify(100)
+            .run()
+            .expect("synthesizable and verifiable");
+        let report = result.verification.expect("verification ran");
+        assert_eq!(report.iterations, 100);
+        assert!(report.writes_checked > 0);
+        // verification is opt-in
+        let unverified = Synthesizer::new(designs::paper_example1())
+            .clock_ps(1600.0)
+            .latency_bounds(1, 3)
+            .run()
+            .expect("synthesizable");
+        assert!(unverified.verification.is_none());
     }
 
     #[test]

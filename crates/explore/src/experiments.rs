@@ -260,6 +260,22 @@ pub fn figure9_scheduling_time(sizes: &[usize]) -> Vec<Figure9Point> {
 /// 8/16/32 cycles, pipelined (II = latency/2) and non-pipelined, over a range
 /// of clock periods. Returns one exploration point per successful run.
 pub fn idct_exploration(clock_periods_ps: &[f64]) -> Vec<ExplorationPoint> {
+    idct_exploration_with(clock_periods_ps, None)
+        .expect("exploration without verification cannot fail")
+}
+
+/// [`idct_exploration`] with an optional differential-verification hook:
+/// when `verify` is given, **every** emitted point's schedule is executed
+/// cycle-accurately against the reference interpreter on random input
+/// vectors and the sweep fails on the first disagreement — so a Pareto front
+/// built from the result contains only demonstrably working designs.
+///
+/// # Errors
+/// Propagates the first [`hls_sim::SimError`] when verification is enabled.
+pub fn idct_exploration_with(
+    clock_periods_ps: &[f64],
+    verify: Option<&crate::verify::VerifyOptions>,
+) -> Result<Vec<ExplorationPoint>, hls_sim::SimError> {
     let lib = TechLibrary::artisan_90nm_typical();
     let body = idct8_design();
     let mut points = Vec::new();
@@ -281,6 +297,9 @@ pub fn idct_exploration(clock_periods_ps: &[f64]) -> Vec<ExplorationPoint> {
                 let Some((schedule, dp)) = schedule_and_estimate(&body, &lib, config) else {
                     continue;
                 };
+                if let Some(options) = verify {
+                    crate::verify::verify_schedule(&body, &schedule.desc, options)?;
+                }
                 let ii = schedule.cycles_per_iteration();
                 points.push(ExplorationPoint {
                     label: format!("{family} @ {:.1} ns", period / 1000.0),
@@ -295,7 +314,7 @@ pub fn idct_exploration(clock_periods_ps: &[f64]) -> Vec<ExplorationPoint> {
             }
         }
     }
-    points
+    Ok(points)
 }
 
 /// Figure 10: area vs delay for the IDCT micro-architectures.
@@ -401,6 +420,16 @@ mod tests {
         }
         let csv = render_points(&points);
         assert!(csv.lines().count() == points.len() + 1);
+    }
+
+    #[test]
+    fn verified_exploration_accepts_every_emitted_point() {
+        let verify = crate::verify::VerifyOptions {
+            vectors: 20,
+            seed: 3,
+        };
+        let points = idct_exploration_with(&[2600.0], Some(&verify)).expect("all points bit-exact");
+        assert!(!points.is_empty());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 pub mod designs;
 pub mod experiments;
 pub mod pareto;
+pub mod verify;
 
 pub use designs::{idct8_design, synthetic_design, DesignClass};
 pub use experiments::{
@@ -27,3 +28,4 @@ pub use experiments::{
     table2_example1_schedule, table3_microarchitectures, table4_scc_move_ablation,
 };
 pub use pareto::{pareto_front, ExplorationPoint};
+pub use verify::{verify_schedule, VerifyOptions};

@@ -600,6 +600,23 @@ mod tests {
     }
 
     #[test]
+    fn loop_anchor_satisfies_the_first_iter_contract() {
+        // The execution engines (hls-sim) and the RTL emitter detect the
+        // first-iteration anchor through Operation::is_first_iter_anchor,
+        // which matches the name this elaborator assigns. Renaming the
+        // anchor here without updating that predicate would silently break
+        // all loop-carried initialization — this test pins the contract.
+        let cdfg = elaborate(&accumulator_behavior()).expect("elaboration");
+        let anchors: Vec<_> = cdfg
+            .dfg
+            .iter_ops()
+            .filter(|(_, op)| op.is_first_iter_anchor())
+            .collect();
+        assert_eq!(anchors.len(), 1, "one anchor for the single loop");
+        assert!(anchors[0].1.display_name().ends_with("first_iter"));
+    }
+
+    #[test]
     fn upward_exposed_detects_read_before_write() {
         let behavior = accumulator_behavior();
         let Stmt::Loop { body, .. } = &behavior.body[0] else {

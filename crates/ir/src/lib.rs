@@ -46,6 +46,7 @@ pub mod cfg;
 pub mod dfg;
 pub mod dot;
 pub mod error;
+pub mod eval;
 pub mod ids;
 pub mod linear;
 pub mod op;
@@ -55,6 +56,7 @@ pub use cdfg::{Cdfg, ForkConditions, LoopInfo};
 pub use cfg::{Cfg, CfgEdge, CfgNode, CfgNodeKind};
 pub use dfg::{DataDep, Dfg, Port, PortDirection, Signal};
 pub use error::IrError;
+pub use eval::{eval_op, BitVal, EvalError};
 pub use ids::{CfgEdgeId, CfgNodeId, LoopId, OpId, PortId, StateIdx};
 pub use linear::{LinearBody, PinnedState};
 pub use op::{CmpKind, OpKind, Operation};

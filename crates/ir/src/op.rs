@@ -269,6 +269,20 @@ impl Operation {
         self.name.clone().unwrap_or_else(|| self.kind.mnemonic())
     }
 
+    /// Returns `true` for the elaborator's *first-iteration anchor*: an
+    /// input-less `Pass` whose value is defined to be 1 on the first loop
+    /// iteration and 0 afterwards. The `loopMux` pattern (paper Figure 3(b))
+    /// selects the pre-loop value through this flag; execution engines give
+    /// it the matching value.
+    pub fn is_first_iter_anchor(&self) -> bool {
+        matches!(self.kind, OpKind::Pass)
+            && self.inputs.is_empty()
+            && self
+                .name
+                .as_deref()
+                .is_some_and(|n| n.ends_with("first_iter"))
+    }
+
     /// Maximum bit width among the operation's inputs and output.
     pub fn max_width(&self) -> u16 {
         self.inputs
@@ -366,6 +380,16 @@ mod tests {
         assert_eq!(op.display_name(), "mul");
         op.name = Some("mul1_op".into());
         assert_eq!(op.display_name(), "mul1_op");
+    }
+
+    #[test]
+    fn first_iter_anchor_detection() {
+        let mut op = Operation::new(OpKind::Pass, 1, vec![]);
+        assert!(!op.is_first_iter_anchor(), "unnamed pass is not an anchor");
+        op.name = Some("do_while_first_iter".into());
+        assert!(op.is_first_iter_anchor());
+        op.kind = OpKind::Const(0);
+        assert!(!op.is_first_iter_anchor(), "only Pass ops qualify");
     }
 
     #[test]

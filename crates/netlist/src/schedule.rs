@@ -63,6 +63,26 @@ impl ScheduleDesc {
             .collect()
     }
 
+    /// Number of *physical* FSM states after folding: the initiation
+    /// interval for pipelined schedules, the full latency otherwise. This is
+    /// the modulus of the controller's state counter in the emitted RTL and
+    /// in the cycle-accurate simulator.
+    pub fn fold_states(&self) -> u32 {
+        // numerically the iteration cadence: the FSM wraps once per
+        // initiated iteration
+        self.cycles_per_iteration()
+    }
+
+    /// Clock cycle at which `op` fires while executing iteration
+    /// `iteration`, assuming iteration `k` is initiated at cycle
+    /// `k * cycles_per_iteration()` (back-to-back iterations). Returns
+    /// `None` for unscheduled operations.
+    pub fn fire_cycle(&self, op: OpId, iteration: u64) -> Option<u64> {
+        self.ops
+            .get(&op)
+            .map(|s| iteration * u64::from(self.cycles_per_iteration()) + u64::from(s.state))
+    }
+
     /// Pipeline stage of an operation (state / II); 0 for sequential
     /// schedules.
     pub fn stage_of(&self, op: OpId) -> u32 {
@@ -438,6 +458,26 @@ mod tests {
         sched.ii = Some(1);
         assert_eq!(sched.cycles_per_iteration(), 1);
         assert_eq!(sched.num_stages(), 2);
+    }
+
+    #[test]
+    fn fold_states_and_fire_cycles() {
+        let (body, mut sched) = tiny();
+        assert_eq!(sched.fold_states(), 2, "sequential folds to the latency");
+        let add_id = body
+            .dfg
+            .iter_ops()
+            .find(|(_, op)| matches!(op.kind, OpKind::Add))
+            .map(|(id, _)| id)
+            .unwrap();
+        // sequential: iteration k starts at k * latency
+        assert_eq!(sched.fire_cycle(add_id, 0), Some(1));
+        assert_eq!(sched.fire_cycle(add_id, 3), Some(7));
+        // pipelined at II=1: iterations start every cycle
+        sched.ii = Some(1);
+        assert_eq!(sched.fold_states(), 1);
+        assert_eq!(sched.fire_cycle(add_id, 3), Some(4));
+        assert_eq!(sched.fire_cycle(OpId::from_raw(99), 0), None);
     }
 
     #[test]

@@ -64,44 +64,39 @@ pub(crate) fn redirect_condition_refs(cdfg: &mut Cdfg, from: OpId, to: OpId) {
     }
 }
 
-/// Evaluates an operation kind on constant inputs, if possible.
-fn eval_const(kind: &OpKind, inputs: &[i64]) -> Option<i64> {
-    let a = inputs.first().copied();
-    let b = inputs.get(1).copied();
-    Some(match kind {
-        OpKind::Add => a? + b?,
-        OpKind::Sub => a? - b?,
-        OpKind::Mul => a?.wrapping_mul(b?),
-        OpKind::Div => {
-            if b? == 0 {
-                return None;
-            }
-            a? / b?
-        }
-        OpKind::Rem => {
-            if b? == 0 {
-                return None;
-            }
-            a? % b?
-        }
-        OpKind::And => a? & b?,
-        OpKind::Or => a? | b?,
-        OpKind::Xor => a? ^ b?,
-        OpKind::Not => !a?,
-        OpKind::Neg => -a?,
-        OpKind::Shl => a? << (b?.clamp(0, 63)),
-        OpKind::Shr => a? >> (b?.clamp(0, 63)),
-        OpKind::Cmp(c) => i64::from(c.eval(a?, b?)),
-        OpKind::Mux => {
-            let sel = a?;
-            if sel != 0 {
-                b?
-            } else {
-                inputs.get(2).copied()?
+/// Evaluates an operation on constant inputs, if possible, using the IR's
+/// executable semantics ([`hls_ir::eval`]) so folding is bit-exact with the
+/// interpreter, the schedule simulator and the emitted RTL: inputs wrap to
+/// their signal widths, the result wraps to the operation width.
+///
+/// Division/remainder by a literal zero is *not* folded even though the
+/// semantics define it (`a / 0 = 0`, `a % 0 = a`): keeping the operation
+/// preserves the guard in the emitted hardware, which reads more honestly
+/// than a silently materialized constant.
+fn eval_const(op: &hls_ir::Operation) -> Option<i64> {
+    use hls_ir::dfg::SignalSource;
+    use hls_ir::eval::{eval_op, BitVal};
+    if matches!(op.kind, OpKind::Div | OpKind::Rem) {
+        // the divisor counts as zero if it *wraps* to zero at its width
+        if let Some(s) = op.inputs.get(1) {
+            if let SignalSource::Const(v) = s.source {
+                if BitVal::new(v, s.width).as_i64() == 0 {
+                    return None;
+                }
             }
         }
-        _ => return None,
-    })
+    }
+    let inputs: Option<Vec<BitVal>> = op
+        .inputs
+        .iter()
+        .map(|s| match s.source {
+            SignalSource::Const(v) => Some(BitVal::new(v, s.width)),
+            SignalSource::Op(_) => None,
+        })
+        .collect();
+    eval_op(&op.kind, op.width, &inputs?)
+        .ok()
+        .map(BitVal::as_i64)
 }
 
 /// Constant folding: operations whose inputs are all literal constants are
@@ -126,16 +121,7 @@ impl Pass for ConstantFolding {
                 if op.inputs.is_empty() {
                     continue;
                 }
-                let const_inputs: Option<Vec<i64>> = op
-                    .inputs
-                    .iter()
-                    .map(|s| match s.source {
-                        hls_ir::dfg::SignalSource::Const(v) => Some(v),
-                        hls_ir::dfg::SignalSource::Op(_) => None,
-                    })
-                    .collect();
-                let Some(values) = const_inputs else { continue };
-                let Some(result) = eval_const(&op.kind, &values) else {
+                let Some(result) = eval_const(op) else {
                     continue;
                 };
                 let width = op.width;
@@ -464,8 +450,26 @@ mod tests {
         );
         let mut cdfg = cdfg_with(dfg);
         ConstantFolding.run(&mut cdfg).unwrap();
-        assert_eq!(cdfg.dfg.op(c).kind, OpKind::Const(1));
+        // a true comparison is the all-ones 1-bit value, whose canonical
+        // signed reading is -1 (same bits as 1'b1)
+        assert_eq!(cdfg.dfg.op(c).kind, OpKind::Const(-1));
         assert_eq!(cdfg.dfg.op(m).kind, OpKind::Const(10));
+    }
+
+    #[test]
+    fn constant_folding_wraps_to_the_operation_width() {
+        let mut dfg = Dfg::new();
+        let y = dfg.add_port("y", PortDirection::Output, 8);
+        // 127 + 1 wraps to -128 at 8 bits (the old i64 folding said 128)
+        let a = dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::constant(127, 8), Signal::constant(1, 8)],
+        );
+        dfg.add_op(OpKind::Write(y), 8, vec![Signal::op_w(a, 8)]);
+        let mut cdfg = cdfg_with(dfg);
+        ConstantFolding.run(&mut cdfg).unwrap();
+        assert_eq!(cdfg.dfg.op(a).kind, OpKind::Const(-128));
     }
 
     #[test]
@@ -476,9 +480,16 @@ mod tests {
             32,
             vec![Signal::constant(5, 32), Signal::constant(0, 32)],
         );
+        // 256 wraps to zero at 8 bits: the guard must catch it too
+        let wrapped = dfg.add_op(
+            OpKind::Rem,
+            8,
+            vec![Signal::constant(5, 8), Signal::constant(256, 8)],
+        );
         let mut cdfg = cdfg_with(dfg);
         ConstantFolding.run(&mut cdfg).unwrap();
         assert_eq!(cdfg.dfg.op(d).kind, OpKind::Div);
+        assert_eq!(cdfg.dfg.op(wrapped).kind, OpKind::Rem);
     }
 
     #[test]

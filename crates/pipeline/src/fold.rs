@@ -89,6 +89,24 @@ impl FoldedPipeline {
         u64::from(self.li) + (iterations - 1) * u64::from(self.ii)
     }
 
+    /// The iterations in flight at the given clock cycle (iterations are
+    /// initiated every `II` cycles, back to back), as `(iteration, stage)`
+    /// pairs — the live version of the paper's Figure 5 overlap picture.
+    /// Cycle-accurate simulation replays exactly this occupancy.
+    pub fn active_iterations(&self, cycle: u64) -> Vec<(u64, u32)> {
+        let ii = u64::from(self.ii.max(1));
+        let li = u64::from(self.li.max(1));
+        let mut active = Vec::new();
+        let first = cycle.saturating_sub(li - 1).div_ceil(ii);
+        for k in first..=(cycle / ii) {
+            let local = cycle - k * ii;
+            if local < li {
+                active.push((k, (local / ii) as u32));
+            }
+        }
+        active
+    }
+
     /// Renders the iteration-overlap picture of the paper's Figure 5: which
     /// stage of which iteration is active in each cycle of the steady state.
     pub fn overlap_table(&self) -> String {
@@ -262,6 +280,27 @@ mod tests {
             fold_schedule(&body, &schedule).unwrap_err(),
             FoldError::NotPipelined
         );
+    }
+
+    #[test]
+    fn active_iterations_tracks_fill_and_steady_state() {
+        let (body, schedule) = pipelined_example(2);
+        let folded = fold_schedule(&body, &schedule).expect("foldable");
+        // LI=3, II=2: cycle 0 only iteration 0; cycle 2 overlaps it0 (stage 1)
+        // with it1 (stage 0); steady state always has 2 iterations in flight
+        assert_eq!(folded.active_iterations(0), vec![(0, 0)]);
+        assert_eq!(folded.active_iterations(2), vec![(0, 1), (1, 0)]);
+        // with LI=3 over II=2 the second stage carries a bubble every other
+        // cycle: even cycles overlap two iterations, odd cycles one
+        for cycle in 10..20u64 {
+            let expected = if cycle % 2 == 0 { 2 } else { 1 };
+            assert_eq!(
+                folded.active_iterations(cycle).len(),
+                expected,
+                "cycle {cycle}"
+            );
+        }
+        let _ = body;
     }
 
     #[test]

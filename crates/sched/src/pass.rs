@@ -222,6 +222,26 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
                     };
                     in_arrivals.push(a);
                 }
+                // For side-effecting operations (port writes, IP calls) the
+                // predicate decides an externally observable action, so its
+                // condition operations must be available no later than this
+                // state, exactly like data inputs. Pure predicated values
+                // need no such edge: they are captured unconditionally and
+                // the muxes inserted by predicate conversion select the
+                // correct one downstream.
+                if op.kind.has_side_effects() {
+                    for cond in op.predicate.condition_ops() {
+                        match placed.get(&cond) {
+                            Some(sp) if sp.state < state => {
+                                in_arrivals.push(timing.register_arrival_ps());
+                            }
+                            Some(sp) if sp.state == state => {
+                                in_arrivals.push(arrival.get(&cond).copied().unwrap_or(0.0));
+                            }
+                            _ => inputs_ready = false,
+                        }
+                    }
+                }
                 if !inputs_ready {
                     continue;
                 }

@@ -33,6 +33,13 @@ impl Schedule {
         self.desc.cycles_per_iteration()
     }
 
+    /// Clock cycle at which `op` fires for the given iteration, assuming
+    /// back-to-back iterations — the replay contract the cycle-accurate
+    /// simulator in `hls-sim` executes.
+    pub fn fire_cycle(&self, op: OpId, iteration: u64) -> Option<u64> {
+        self.desc.fire_cycle(op, iteration)
+    }
+
     /// Renders the paper-style state × resource table (Table 2).
     pub fn table(&self, body: &LinearBody) -> String {
         self.desc.to_table(body)

@@ -1,0 +1,123 @@
+//! Error type shared by the simulation engines.
+
+use hls_ir::eval::EvalError;
+use hls_ir::{IrError, OpId, PortId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the interpreter, the cycle-accurate simulator or the
+/// differential checker.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The loop body failed IR validation.
+    InvalidBody(IrError),
+    /// An operation could not be evaluated.
+    Eval {
+        /// The failing operation.
+        op: OpId,
+        /// The underlying evaluation error.
+        source: EvalError,
+    },
+    /// The design calls a pre-designed IP block; simulating it would require
+    /// a model of the block, which this reproduction does not ship.
+    UnsupportedCall {
+        /// The call operation.
+        op: OpId,
+        /// The IP block name.
+        name: String,
+    },
+    /// The schedule has no placement for an operation another one depends on.
+    Unscheduled {
+        /// The unplaced operation.
+        op: OpId,
+    },
+    /// An operation fired before one of its inputs was computed — the
+    /// schedule violates a data (or write-predicate) dependence.
+    Causality {
+        /// The consuming operation.
+        op: OpId,
+        /// The producing operation whose value was not yet available.
+        input: OpId,
+        /// Iteration being executed.
+        iteration: u32,
+        /// Clock cycle at which the consumer fired.
+        cycle: u64,
+    },
+    /// The interpreter and the cycle-accurate simulator disagree.
+    Mismatch {
+        /// Port on which the writes diverge.
+        port: PortId,
+        /// Port name, for readable reports.
+        port_name: String,
+        /// Index of the diverging write in the port's write sequence.
+        index: usize,
+        /// Iteration the diverging write belongs to.
+        iteration: u32,
+        /// Value the reference interpreter produced.
+        expected: i64,
+        /// Value the cycle-accurate simulation produced.
+        actual: i64,
+    },
+    /// The two engines produced a different number of writes on a port.
+    WriteCountMismatch {
+        /// Port on which the counts diverge.
+        port: PortId,
+        /// Port name, for readable reports.
+        port_name: String,
+        /// Number of writes the reference interpreter produced.
+        expected: usize,
+        /// Number of writes the cycle-accurate simulation produced.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidBody(e) => write!(f, "invalid body: {e}"),
+            SimError::Eval { op, source } => write!(f, "evaluating {op}: {source}"),
+            SimError::UnsupportedCall { op, name } => {
+                write!(f, "{op} calls IP block `{name}`, which has no simulation model")
+            }
+            SimError::Unscheduled { op } => write!(f, "{op} has no schedule placement"),
+            SimError::Causality {
+                op,
+                input,
+                iteration,
+                cycle,
+            } => write!(
+                f,
+                "{op} fired at cycle {cycle} (iteration {iteration}) before its input {input} was computed"
+            ),
+            SimError::Mismatch {
+                port_name,
+                index,
+                iteration,
+                expected,
+                actual,
+                ..
+            } => write!(
+                f,
+                "write #{index} to `{port_name}` (iteration {iteration}): interpreter says {expected}, schedule simulation says {actual}"
+            ),
+            SimError::WriteCountMismatch {
+                port_name,
+                expected,
+                actual,
+                ..
+            } => write!(
+                f,
+                "port `{port_name}`: interpreter produced {expected} writes, schedule simulation {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<IrError> for SimError {
+    fn from(e: IrError) -> Self {
+        SimError::InvalidBody(e)
+    }
+}

@@ -1,0 +1,63 @@
+//! Golden-snapshot tests for the RTL emitter on the paper's Example 1.
+//!
+//! The emitted text for the sequential (Table 2) and II=2 pipelined
+//! (Example 2) schedules is pinned byte-for-byte under `tests/golden/`.
+//! An emitter refactor that changes the output now diffs textually instead
+//! of failing silently; run with `UPDATE_GOLDEN=1` to bless intentional
+//! changes after reviewing the diff.
+
+use hls::designs::paper_example1;
+use hls::Synthesizer;
+use std::path::Path;
+
+fn compare_or_bless(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path:?} ({e}); run with UPDATE_GOLDEN=1"));
+    if expected != actual {
+        let diff: Vec<String> = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .filter(|(_, (e, a))| e != a)
+            .take(12)
+            .map(|(i, (e, a))| format!("line {}:\n  golden: {e}\n  actual: {a}", i + 1))
+            .collect();
+        panic!(
+            "RTL for {name} diverged from the golden snapshot \
+             ({} vs {} lines).\n{}\nIf the change is intentional, re-bless with \
+             `UPDATE_GOLDEN=1 cargo test --test golden_rtl`.",
+            expected.lines().count(),
+            actual.lines().count(),
+            diff.join("\n")
+        );
+    }
+}
+
+#[test]
+fn example1_sequential_rtl_matches_golden() {
+    let result = Synthesizer::new(paper_example1())
+        .clock_ps(1600.0)
+        .latency_bounds(1, 3)
+        .run()
+        .expect("example 1 schedules sequentially");
+    compare_or_bless("example1_sequential.v", &result.rtl);
+}
+
+#[test]
+fn example1_pipelined_ii2_rtl_matches_golden() {
+    let result = Synthesizer::new(paper_example1())
+        .clock_ps(1600.0)
+        .latency_bounds(1, 6)
+        .pipeline(2)
+        .run()
+        .expect("example 1 pipelines at II=2");
+    compare_or_bless("example1_pipelined_ii2.v", &result.rtl);
+}

@@ -1,25 +1,26 @@
 //! Figure 9: scheduler runtime vs design size over synthetic industrial designs.
+//!
+//! The sweep itself (design population, table rendering, `BENCH_sched.json`
+//! emission) is shared with the `figure9_perf` example via
+//! `hls_explore::experiments::figure9_sweep`; CI runs the example with a
+//! reduced size list and a wall-clock budget.
 use criterion::{criterion_group, criterion_main, Criterion};
+use hls_explore::experiments::{figure9_default_sizes, figure9_sweep};
 use hls_explore::figure9_scheduling_time;
 
 fn bench(c: &mut Criterion) {
-    // 12 designs spanning the 100..2000 op range (a scaled-down version of
-    // the paper's 40-design population; sizes grow roughly geometrically).
-    let sizes: Vec<usize> = vec![
-        100, 150, 220, 320, 450, 600, 800, 1000, 1250, 1500, 1750, 2000,
-    ];
-    let points = figure9_scheduling_time(&sizes);
-    println!("\nFIGURE 9 — scheduling time vs design size:");
-    println!(
-        "  {:>6} {:>10} {:>8} {:>12}",
-        "ops", "seconds", "latency", "class"
-    );
-    for p in &points {
-        println!(
-            "  {:>6} {:>10.3} {:>8} {:>12}",
-            p.ops, p.seconds, p.latency, p.class
-        );
-    }
+    let sweep = figure9_sweep(&figure9_default_sizes());
+    println!("\n{}", sweep.table());
+
+    // Machine-readable perf trajectory at the repo root (crates/bench/../..).
+    let json_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_sched.json");
+    sweep
+        .write_json(&json_path)
+        .expect("write BENCH_sched.json");
+    println!("wrote {}", json_path.display());
+
     c.bench_function("figure9_small_design_scheduling", |b| {
         b.iter(|| figure9_scheduling_time(&[150, 300]))
     });

@@ -211,16 +211,22 @@ pub struct Figure9Point {
     pub seconds: f64,
     /// Achieved latency.
     pub latency: u32,
+    /// Scheduling passes executed by the run that produced the point.
+    pub passes: u32,
     /// Design class.
     pub class: String,
 }
 
 /// Figure 9: scheduling time vs design size over a population of synthetic
 /// "industrial" designs. `sizes` controls the op-count sweep.
+///
+/// The designs are independent, so they are scheduled across
+/// [`crate::parallel::map_indexed`] workers; results come back in size
+/// order and are identical to a sequential run (set `HLS_EXPLORE_THREADS=1`
+/// for single-threaded per-point timings).
 pub fn figure9_scheduling_time(sizes: &[usize]) -> Vec<Figure9Point> {
     let lib = TechLibrary::artisan_90nm_typical();
-    let mut points = Vec::new();
-    for (i, &target) in sizes.iter().enumerate() {
+    let points = crate::parallel::map_indexed(sizes, |i, &target| {
         let class = DesignClass::all()[i % 3];
         let body = synthetic_design(class, target, 42 + i as u64);
         let clock = ClockConstraint::from_period_ps(if i % 2 == 0 { 1600.0 } else { 2200.0 });
@@ -240,16 +246,115 @@ pub fn figure9_scheduling_time(sizes: &[usize]) -> Vec<Figure9Point> {
             Scheduler::new(&body, &lib, fallback).run()
         });
         let seconds = start.elapsed().as_secs_f64();
-        if let Ok(schedule) = result {
-            points.push(Figure9Point {
-                ops: body.dfg.num_ops(),
-                seconds,
-                latency: schedule.latency,
-                class: format!("{class:?}"),
-            });
+        result.ok().map(|schedule| Figure9Point {
+            ops: body.dfg.num_ops(),
+            seconds,
+            latency: schedule.latency,
+            passes: schedule.passes,
+            class: format!("{class:?}"),
+        })
+    });
+    points.into_iter().flatten().collect()
+}
+
+/// The default Figure 9 sweep: 12 designs spanning the 100..2000 op range
+/// (a scaled-down version of the paper's 40-design population; sizes grow
+/// roughly geometrically).
+pub fn figure9_default_sizes() -> Vec<usize> {
+    vec![
+        100, 150, 220, 320, 450, 600, 800, 1000, 1250, 1500, 1750, 2000,
+    ]
+}
+
+/// A measured Figure 9 sweep: the points plus the end-to-end wall-clock.
+#[derive(Clone, Debug)]
+pub struct Figure9Sweep {
+    /// One point per successfully scheduled size.
+    pub points: Vec<Figure9Point>,
+    /// End-to-end wall-clock of the whole sweep, seconds.
+    pub total_seconds: f64,
+    /// Number of sizes requested (points may be fewer: unschedulable sizes
+    /// contribute time but no point).
+    pub requested: usize,
+}
+
+impl Figure9Sweep {
+    /// Renders the paper-style table plus the end-to-end total — the shared
+    /// output of the bench target and the `figure9_perf` example.
+    pub fn table(&self) -> String {
+        let mut out = String::from("FIGURE 9 — scheduling time vs design size:\n");
+        out.push_str(&format!(
+            "  {:>6} {:>10} {:>8} {:>7} {:>12}\n",
+            "ops", "seconds", "latency", "passes", "class"
+        ));
+        for p in &self.points {
+            out.push_str(&format!(
+                "  {:>6} {:>10.3} {:>8} {:>7} {:>12}\n",
+                p.ops, p.seconds, p.latency, p.passes, p.class
+            ));
         }
+        out.push_str(&format!(
+            "total: {:.3}s end-to-end ({} of {} sizes scheduled)\n",
+            self.total_seconds,
+            self.points.len(),
+            self.requested
+        ));
+        out
     }
-    points
+
+    /// Writes the sweep as `BENCH_sched.json` (see [`figure9_json`]).
+    ///
+    /// # Errors
+    /// Propagates the underlying I/O error.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        write_figure9_json(path, &self.points, self.total_seconds)
+    }
+}
+
+/// Runs [`figure9_scheduling_time`] and measures the end-to-end wall-clock
+/// of the whole sweep — the headline perf-trajectory number.
+pub fn figure9_sweep(sizes: &[usize]) -> Figure9Sweep {
+    let start = Instant::now();
+    let points = figure9_scheduling_time(sizes);
+    Figure9Sweep {
+        points,
+        total_seconds: start.elapsed().as_secs_f64(),
+        requested: sizes.len(),
+    }
+}
+
+/// Serializes Figure 9 points as the machine-readable perf-trajectory record
+/// `BENCH_sched.json` (one `{ops, seconds, latency, passes}` object per
+/// size, plus the end-to-end wall-clock of the whole driver).
+pub fn figure9_json(points: &[Figure9Point], total_seconds: f64) -> String {
+    let mut out = String::from("{\n  \"bench\": \"figure9_scheduling_time\",\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"ops\": {}, \"seconds\": {:.6}, \"latency\": {}, \"passes\": {}, \"class\": \"{}\"}}{}\n",
+            p.ops,
+            p.seconds,
+            p.latency,
+            p.passes,
+            p.class,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"total_seconds\": {total_seconds:.6}\n}}\n"
+    ));
+    out
+}
+
+/// Writes [`figure9_json`] to the given path (the repo root by convention).
+///
+/// # Errors
+/// Propagates the underlying I/O error.
+pub fn write_figure9_json(
+    path: &std::path::Path,
+    points: &[Figure9Point],
+    total_seconds: f64,
+) -> std::io::Result<()> {
+    std::fs::write(path, figure9_json(points, total_seconds))
 }
 
 // ---------------------------------------------------------------------------
@@ -278,40 +383,55 @@ pub fn idct_exploration_with(
 ) -> Result<Vec<ExplorationPoint>, hls_sim::SimError> {
     let lib = TechLibrary::artisan_90nm_typical();
     let body = idct8_design();
-    let mut points = Vec::new();
+    // Every (latency, pipelining, clock) micro-architecture candidate is an
+    // independent schedule-estimate-verify problem: fan them out across
+    // workers and collect in sweep order, propagating the first error in
+    // that (deterministic) order.
+    let mut combos: Vec<(u32, bool, f64)> = Vec::new();
     for &latency in &[8u32, 16, 32] {
         for &pipelined in &[false, true] {
             for &period in clock_periods_ps {
-                let clock = ClockConstraint::from_period_ps(period);
-                let (family, config) = if pipelined {
-                    (
-                        format!("Pipelined {latency}"),
-                        SchedulerConfig::pipelined(clock, (latency / 2).max(1), latency),
-                    )
-                } else {
-                    (
-                        format!("Non-Pipelined {latency}"),
-                        SchedulerConfig::sequential(clock, 1, latency),
-                    )
-                };
-                let Some((schedule, dp)) = schedule_and_estimate(&body, &lib, config) else {
-                    continue;
-                };
-                if let Some(options) = verify {
-                    crate::verify::verify_schedule(&body, &schedule.desc, options)?;
-                }
-                let ii = schedule.cycles_per_iteration();
-                points.push(ExplorationPoint {
-                    label: format!("{family} @ {:.1} ns", period / 1000.0),
-                    family,
-                    delay_ns: f64::from(ii) * period / 1000.0,
-                    area: dp.total_area(),
-                    power_uw: dp.total_power_uw(),
-                    clock_ps: period,
-                    latency_cycles: schedule.latency,
-                    ii_cycles: ii,
-                });
+                combos.push((latency, pipelined, period));
             }
+        }
+    }
+    type PointResult = Result<Option<ExplorationPoint>, hls_sim::SimError>;
+    let results =
+        crate::parallel::map_indexed(&combos, |_, &(latency, pipelined, period)| -> PointResult {
+            let clock = ClockConstraint::from_period_ps(period);
+            let (family, config) = if pipelined {
+                (
+                    format!("Pipelined {latency}"),
+                    SchedulerConfig::pipelined(clock, (latency / 2).max(1), latency),
+                )
+            } else {
+                (
+                    format!("Non-Pipelined {latency}"),
+                    SchedulerConfig::sequential(clock, 1, latency),
+                )
+            };
+            let Some((schedule, dp)) = schedule_and_estimate(&body, &lib, config) else {
+                return Ok(None);
+            };
+            if let Some(options) = verify {
+                crate::verify::verify_schedule(&body, &schedule.desc, options)?;
+            }
+            let ii = schedule.cycles_per_iteration();
+            Ok(Some(ExplorationPoint {
+                label: format!("{family} @ {:.1} ns", period / 1000.0),
+                family,
+                delay_ns: f64::from(ii) * period / 1000.0,
+                area: dp.total_area(),
+                power_uw: dp.total_power_uw(),
+                clock_ps: period,
+                latency_cycles: schedule.latency,
+                ii_cycles: ii,
+            }))
+        });
+    let mut points = Vec::new();
+    for r in results {
+        if let Some(p) = r? {
+            points.push(p);
         }
     }
     Ok(points)

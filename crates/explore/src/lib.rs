@@ -19,6 +19,7 @@
 
 pub mod designs;
 pub mod experiments;
+pub mod parallel;
 pub mod pareto;
 pub mod verify;
 
@@ -27,5 +28,6 @@ pub use experiments::{
     figure10_idct_area_delay, figure11_idct_power_delay, figure9_scheduling_time, table1_library,
     table2_example1_schedule, table3_microarchitectures, table4_scc_move_ablation,
 };
+pub use parallel::map_indexed;
 pub use pareto::{pareto_front, ExplorationPoint};
 pub use verify::{verify_schedule, VerifyOptions};

@@ -1,0 +1,122 @@
+//! Deterministic parallel execution of independent exploration work.
+//!
+//! Design-space exploration is embarrassingly parallel: every Figure 9
+//! design, every Figure 10/11 IDCT sweep point and every Pareto candidate is
+//! an independent scheduling problem. [`map_indexed`] fans a slice of such
+//! problems out over `std::thread::scope` workers (no external thread-pool
+//! dependency) and returns results **in input order**, so callers observe
+//! exactly the output a sequential loop would produce — scheduling is
+//! deterministic, and the collection order is fixed by index, not by thread
+//! completion time.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of worker threads to use: the `HLS_EXPLORE_THREADS` environment
+/// variable when set (a value of `1` disables parallelism), otherwise the
+/// machine's available parallelism.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("HLS_EXPLORE_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` across scoped worker threads and
+/// returns the results in input order.
+///
+/// Work is distributed dynamically (an atomic cursor), so a few expensive
+/// items — large Figure 9 designs — do not serialize behind a static
+/// partition. With one worker (or one item) the call degenerates to a plain
+/// sequential loop with no threads spawned.
+///
+/// # Panics
+/// Panics if a worker panics (the panic is propagated by the thread scope).
+pub fn map_indexed<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(usize, &I) -> O + Sync,
+{
+    let n = items.len();
+    let workers = worker_count().min(n.max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, O)>();
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i, &items[i]);
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_order_stable() {
+        let items: Vec<usize> = (0..64).collect();
+        let out = map_indexed(&items, |i, &v| {
+            // stagger completion to shake out ordering bugs
+            if v % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            (i, v * v)
+        });
+        for (i, (idx, sq)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*sq, i * i);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        let out = map_indexed(&items, |_, &v| v);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let out = map_indexed(&[41], |_, &v| v + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<i64> = (0..33).map(|i| i * 3 - 7).collect();
+        let parallel = map_indexed(&items, |_, &v| v.wrapping_mul(v) ^ 0x5a);
+        let sequential: Vec<i64> = items.iter().map(|&v| v.wrapping_mul(v) ^ 0x5a).collect();
+        assert_eq!(parallel, sequential);
+    }
+}

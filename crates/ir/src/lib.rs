@@ -43,6 +43,7 @@
 pub mod analysis;
 pub mod cdfg;
 pub mod cfg;
+pub mod dense;
 pub mod dfg;
 pub mod dot;
 pub mod error;
@@ -54,6 +55,7 @@ pub mod predicate;
 
 pub use cdfg::{Cdfg, ForkConditions, LoopInfo};
 pub use cfg::{Cfg, CfgEdge, CfgNode, CfgNodeKind};
+pub use dense::DenseOpMap;
 pub use dfg::{DataDep, Dfg, Port, PortDirection, Signal};
 pub use error::IrError;
 pub use eval::{eval_op, BitVal, EvalError};

@@ -13,8 +13,8 @@
 //! the methodological gap the paper's unified scheduler/binder closes.
 
 use hls_ir::analysis::{alap_levels, asap_levels};
-use hls_ir::{LinearBody, OpId};
-use hls_tech::{ResourceClass, ResourceType, TechLibrary};
+use hls_ir::{DenseOpMap, LinearBody, OpId};
+use hls_tech::{Interner, ResourceClass, ResourceClassId, ResourceType, TechLibrary};
 use std::collections::HashMap;
 
 /// Result of the modulo-scheduling baseline.
@@ -59,47 +59,73 @@ pub fn modulo_schedule(
     let asap = asap_levels(&body.dfg);
     let depth = asap.values().copied().max().unwrap_or(0);
     let alap = alap_levels(&body.dfg, depth);
+    let n = body.dfg.num_ops();
+
+    // Per-op precomputation: interned class, per-op delay, resource limit per
+    // class, dense predecessor lists. Everything the placement loop touches
+    // is a flat array lookup from here on.
+    let mut interner = Interner::new();
+    let mut class_of: DenseOpMap<Option<ResourceClassId>> = DenseOpMap::new(n);
+    let mut delay_of: DenseOpMap<f64> = DenseOpMap::filled(n, 0.0);
+    let mut own_delay_of: DenseOpMap<f64> = DenseOpMap::filled(n, 0.0);
+    for (id, op) in body.dfg.iter_ops() {
+        let ty = ResourceType::for_op(op);
+        if let Some(t) = &ty {
+            delay_of[id] = lib.delay_ps(t);
+        }
+        let class = ty
+            .filter(|t| !matches!(t.class, ResourceClass::IoPort))
+            .map(|t| t.class);
+        if let Some(c) = &class {
+            own_delay_of[id] = lib.delay_ps(&ResourceType::binary(
+                c.clone(),
+                op.max_width(),
+                op.max_width(),
+                op.width,
+            ));
+            class_of[id] = Some(interner.class_id(c));
+        }
+    }
+    let num_classes = interner.num_classes();
+    let limit_of: Vec<usize> = (0..num_classes)
+        .map(|c| resource_limit(interner.class(ResourceClassId(c as u32))))
+        .collect();
+    let preds: DenseOpMap<Vec<(OpId, u32)>> =
+        DenseOpMap::from_fn(n, |id| body.dfg.preds_with_carried(id));
+    let carried_deps: Vec<(OpId, OpId, u32)> = body
+        .dfg
+        .data_deps()
+        .into_iter()
+        .filter(|d| d.distance > 0)
+        .map(|d| (d.from, d.to, d.distance))
+        .collect();
+
+    // height-based priority: deeper ALAP first (critical ops first)
+    let mut order: Vec<OpId> = body.dfg.op_ids().collect();
+    order.sort_by_key(|id| (alap[id], *id));
 
     'ii_loop: for ii in min_ii.max(1)..=max_ii.max(1) {
-        // modulo reservation table: class → slot → used count
-        let mut mrt: HashMap<(String, u32), usize> = HashMap::new();
-        let mut time_of: HashMap<OpId, u32> = HashMap::new();
+        // modulo reservation table: one flat row per class,
+        // indexed `class_id * ii + slot`
+        let mut mrt: Vec<usize> = vec![0; num_classes * ii as usize];
+        let mut time_of: DenseOpMap<Option<u32>> = DenseOpMap::new(n);
         let mut attempts = 0u32;
 
-        // height-based priority: deeper ALAP first (critical ops first)
-        let mut order: Vec<OpId> = body.dfg.op_ids().collect();
-        order.sort_by_key(|id| (alap[id], *id));
-
         for &op_id in &order {
-            let op = body.dfg.op(op_id);
             attempts += 1;
-            let class = ResourceType::for_op(op)
-                .filter(|t| !matches!(t.class, ResourceClass::IoPort))
-                .map(|t| t.class);
+            let class = class_of[op_id];
 
             // earliest start honouring already-placed intra-iteration preds
             // (with a simple one-op-per-cycle chaining check against the
             // clock period)
             let mut earliest = 0u32;
-            for (p, dist) in body.dfg.preds_with_carried(op_id) {
+            for &(p, dist) in &preds[op_id] {
                 if dist > 0 {
                     continue;
                 }
-                if let Some(&tp) = time_of.get(&p) {
-                    let pred_delay = ResourceType::for_op(body.dfg.op(p))
-                        .map(|t| lib.delay_ps(&t))
-                        .unwrap_or(0.0);
-                    let own_delay = class
-                        .as_ref()
-                        .map(|c| {
-                            lib.delay_ps(&ResourceType::binary(
-                                c.clone(),
-                                op.max_width(),
-                                op.max_width(),
-                                op.width,
-                            ))
-                        })
-                        .unwrap_or(0.0);
+                if let Some(tp) = time_of[p] {
+                    let pred_delay = delay_of[p];
+                    let own_delay = own_delay_of[op_id];
                     // chain only if both fit in one cycle, else next cycle
                     let same_cycle_ok = pred_delay + own_delay + 190.0 < clock_period_ps;
                     earliest = earliest.max(if same_cycle_ok { tp } else { tp + 1 });
@@ -110,15 +136,14 @@ pub fn modulo_schedule(
             // candidate cycles (classical IMS search window)
             let mut placed = false;
             for t in earliest..earliest + ii.max(1) * 4 {
-                if let Some(c) = &class {
-                    let key = (c.mnemonic(), t % ii);
-                    let used = mrt.get(&key).copied().unwrap_or(0);
-                    if used >= resource_limit(c) {
+                if let Some(c) = class {
+                    let key = c.index() * ii as usize + (t % ii) as usize;
+                    if mrt[key] >= limit_of[c.index()] {
                         continue;
                     }
-                    mrt.insert(key, used + 1);
+                    mrt[key] += 1;
                 }
-                time_of.insert(op_id, t);
+                time_of[op_id] = Some(t);
                 placed = true;
                 break;
             }
@@ -128,26 +153,32 @@ pub fn modulo_schedule(
         }
 
         // verify loop-carried dependences: t(to) + d*II >= t(from) (+1 cycle)
-        for dep in body.dfg.data_deps() {
-            if dep.distance == 0 {
-                continue;
-            }
-            let (Some(&tf), Some(&tt)) = (time_of.get(&dep.from), time_of.get(&dep.to)) else {
+        for &(from, to, distance) in &carried_deps {
+            let (Some(tf), Some(tt)) = (time_of[from], time_of[to]) else {
                 continue;
             };
-            if tt + dep.distance * ii < tf {
+            if tt + distance * ii < tf {
                 continue 'ii_loop;
             }
         }
 
         let mut resource_counts: HashMap<String, usize> = HashMap::new();
-        for ((class, _), used) in &mrt {
-            let entry = resource_counts.entry(class.clone()).or_insert(0);
-            *entry = (*entry).max(*used);
+        for c in 0..num_classes {
+            let used = (0..ii as usize)
+                .map(|slot| mrt[c * ii as usize + slot])
+                .max()
+                .unwrap_or(0);
+            if used > 0 {
+                let mnemonic = interner.class(ResourceClassId(c as u32)).mnemonic();
+                resource_counts.insert(mnemonic, used);
+            }
         }
         return Some(ModuloResult {
             ii,
-            time_of,
+            time_of: time_of
+                .iter()
+                .filter_map(|(id, t)| t.map(|t| (id, t)))
+                .collect(),
             attempts,
             resource_counts,
         });

@@ -1,0 +1,1051 @@
+//! The dense, incremental scheduling engine behind both [`schedule_pass`]
+//! (one-shot, from scratch) and the multi-pass [`Scheduler`] driver
+//! (incremental across relaxation actions).
+//!
+//! [`schedule_pass`]: crate::pass::schedule_pass
+//! [`Scheduler`]: crate::scheduler::Scheduler
+//!
+//! # Arena layout
+//!
+//! Every hot table is a flat `Vec` indexed by dense ids: per-operation state
+//! lives in [`DenseOpMap`]-style vectors (`placed`, `first_considered`,
+//! `last_reasons`), resource classes are interned to [`ResourceClassId`]s,
+//! the busy table is one `Vec` indexed by
+//! `instance * fold_states + folded_state`, and the combinational-cycle
+//! graph is an adjacency `Vec` over resource indices with epoch-marked DFS.
+//! Nothing on the placement path hashes a key or allocates.
+//!
+//! # Incremental re-passes
+//!
+//! The greedy pass is deterministic: given (latency, resources, forbidden
+//! bindings, SCC stages) it always makes the same decisions in the same
+//! order. The engine snapshots the mutable pass state at the start of every
+//! control step. When a relaxation action changes one of the inputs, the
+//! next pass resumes from the earliest state whose decisions could possibly
+//! observe the change, replaying only the invalidated cone:
+//!
+//! * `AddState` — nothing before the old latency can observe the new state
+//!   (the priority order is compared explicitly; if mobility saturation
+//!   reordered ops the pass falls back to a full re-run), so the pass
+//!   *continues* from the previous final state;
+//! * `AddResource(ty)` — only operations of `ty`'s class observe the new
+//!   instance (compatibility lists and sharing factors are per class), so
+//!   the pass resumes from the first state where any such operation was
+//!   considered;
+//! * `MoveScc` — only members of the moved SCC observe their stage window,
+//!   so the pass resumes from the first state where one was considered;
+//! * `ForbidBinding` — only the forbidden operation observes the set, so
+//!   the pass resumes from the first state where it was considered.
+//!
+//! Everything before the resume point is restored from the snapshot in
+//! O(ops); the busy table and combinational graph are pure functions of the
+//! placement and are rebuilt from it. The replayed suffix makes exactly the
+//! decisions a from-scratch pass would make, which is what the
+//! schedule-equivalence regression suite (`tests/schedule_equivalence.rs`)
+//! asserts against [`Scheduler::run_reference`].
+//!
+//! [`Scheduler::run_reference`]: crate::scheduler::Scheduler::run_reference
+
+use crate::config::SchedulerConfig;
+use crate::pass::PassFailure;
+use crate::relax::{RelaxAction, Restraint};
+use hls_ir::analysis::Scc;
+use hls_ir::{LinearBody, OpId, OpKind, PinnedState};
+use hls_netlist::schedule::{ScheduleDesc, ScheduledOp};
+use hls_netlist::timing::ChainTiming;
+use hls_tech::{
+    Interner, ResourceClass, ResourceClassId, ResourceInstanceId, ResourceSet, ResourceType,
+    ResourceTypeId, TechLibrary,
+};
+
+/// Cached predicate literals for the allocation-free mutual-exclusivity
+/// test. `lits` is sorted by condition op (the order `Predicate::literals`
+/// produces); each entry records whether the condition occurs with positive
+/// and/or negative polarity.
+#[derive(Clone, Debug, Default)]
+struct PredLits {
+    is_true: bool,
+    lits: Vec<(OpId, bool, bool)>,
+}
+
+impl PredLits {
+    fn of(pred: &hls_ir::Predicate) -> Self {
+        let lits = pred
+            .literals()
+            .into_iter()
+            .map(|(cond, pols)| (cond, pols.contains(&true), pols.contains(&false)))
+            .collect();
+        PredLits {
+            is_true: pred.is_true(),
+            lits,
+        }
+    }
+
+    /// Mirrors `Predicate::mutually_exclusive` over the cached literals.
+    fn mutually_exclusive(&self, other: &PredLits) -> bool {
+        if self.is_true || other.is_true {
+            return false;
+        }
+        for &(cond, a_true, a_false) in &self.lits {
+            if let Ok(pos) = other.lits.binary_search_by_key(&cond, |l| l.0) {
+                let (_, b_true, b_false) = other.lits[pos];
+                if (a_true && b_false && !a_false && !b_true)
+                    || (a_false && b_true && !a_true && !b_false)
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Immutable per-run precomputation: everything about the body that no
+/// relaxation action can change, computed once per `Scheduler::run` instead
+/// of once per pass (or worse, once per placement attempt).
+struct PassStatics {
+    n: usize,
+    /// Distance-0 producers per op (duplicates preserved, as in `Dfg::preds`).
+    preds: Vec<Vec<OpId>>,
+    /// Extra precedence edges from I/O ordering, keyed by the later op.
+    extra_preds: Vec<Vec<OpId>>,
+    pin: Vec<Option<PinnedState>>,
+    /// The op's required resource type (including `IoPort` interface types).
+    required_ty: Vec<Option<ResourceType>>,
+    /// Whether the op occupies a datapath resource (non-`IoPort`).
+    needs_resource: Vec<bool>,
+    /// Interned class of datapath ops.
+    class_id: Vec<Option<ResourceClassId>>,
+    /// Interned required type of datapath ops.
+    required_type_id: Vec<Option<ResourceTypeId>>,
+    /// Combinational delay per interned type (indexed by `ResourceTypeId`);
+    /// replaces the per-attempt `ResourceType` hash of the delay cache.
+    type_delay: Vec<f64>,
+    /// Widest operand/result width per interned type (mux sizing).
+    type_width: Vec<u16>,
+    complexity: Vec<f64>,
+    asap: Vec<u32>,
+    /// Longest distance-0 successor chain below each op.
+    below: Vec<u32>,
+    fanout: Vec<usize>,
+    /// Predicate condition ops, filled only for side-effecting ops.
+    cond_ops: Vec<Vec<OpId>>,
+    has_side_effects: Vec<bool>,
+    pred_lits: Vec<PredLits>,
+    scc_of: Vec<Option<u32>>,
+    /// Datapath operations per interned class (sharing-factor numerator).
+    ops_per_class: Vec<usize>,
+    /// Whether the op is a free/IO op whose arrival is a register launch.
+    launches_from_register: Vec<bool>,
+}
+
+impl PassStatics {
+    fn build(body: &LinearBody, lib: &TechLibrary, sccs: &[Scc], interner: &mut Interner) -> Self {
+        let n = body.dfg.num_ops();
+        let mut preds: Vec<Vec<OpId>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, op) in body.dfg.iter_ops() {
+            for sig in &op.inputs {
+                if sig.distance == 0 {
+                    if let Some(p) = sig.producer() {
+                        preds[id.index()].push(p);
+                        succs[p.index()].push(id.index());
+                    }
+                }
+            }
+        }
+        let mut extra_preds: Vec<Vec<OpId>> = vec![Vec::new(); n];
+        for (a, b) in body.io_order_deps() {
+            extra_preds[b.index()].push(a);
+        }
+
+        // ASAP levels and below-heights over the distance-0 dependence graph,
+        // via one topological sweep each (same values as
+        // `analysis::asap_levels` / the height pass of `alap_levels`).
+        let order = body
+            .dfg
+            .topo_order()
+            .expect("scheduling requires an acyclic intra-iteration dependence graph");
+        let mut asap = vec![0u32; n];
+        for &id in &order {
+            let l = preds[id.index()]
+                .iter()
+                .map(|p| asap[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            asap[id.index()] = l;
+        }
+        let mut below = vec![0u32; n];
+        for &id in order.iter().rev() {
+            let l = succs[id.index()]
+                .iter()
+                .map(|&s| below[s] + 1)
+                .max()
+                .unwrap_or(0);
+            below[id.index()] = l;
+        }
+
+        // Transitive fanout cone sizes (distinct distance-0 consumers), with
+        // a shared adjacency and an epoch-marked visited set.
+        let mut fanout = vec![0usize; n];
+        let mut mark = vec![usize::MAX; n];
+        let mut stack: Vec<usize> = Vec::new();
+        for (root, cone) in fanout.iter_mut().enumerate() {
+            let mut count = 0usize;
+            stack.clear();
+            stack.push(root);
+            // the root itself is not part of its cone unless reached again
+            while let Some(v) = stack.pop() {
+                for &s in &succs[v] {
+                    if mark[s] != root {
+                        mark[s] = root;
+                        count += 1;
+                        stack.push(s);
+                    }
+                }
+            }
+            *cone = count;
+        }
+
+        let mut required_ty = vec![None; n];
+        let mut needs_resource = vec![false; n];
+        let mut class_id = vec![None; n];
+        let mut required_type_id = vec![None; n];
+        let mut type_delay: Vec<f64> = Vec::new();
+        let mut type_width: Vec<u16> = Vec::new();
+        let mut complexity = vec![0.0f64; n];
+        let mut cond_ops: Vec<Vec<OpId>> = vec![Vec::new(); n];
+        let mut has_side_effects = vec![false; n];
+        let mut pred_lits = vec![PredLits::default(); n];
+        let mut launches_from_register = vec![false; n];
+        let mut ops_per_class: Vec<usize> = Vec::new();
+        for (id, op) in body.dfg.iter_ops() {
+            let i = id.index();
+            let ty = ResourceType::for_op(op);
+            if let Some(ty) = &ty {
+                if !matches!(ty.class, ResourceClass::IoPort) {
+                    needs_resource[i] = true;
+                    complexity[i] = lib.delay_ps(ty);
+                    let cid = interner.class_id(&ty.class);
+                    if cid.index() >= ops_per_class.len() {
+                        ops_per_class.resize(cid.index() + 1, 0);
+                    }
+                    ops_per_class[cid.index()] += 1;
+                    class_id[i] = Some(cid);
+                    let tid = interner.type_id(ty);
+                    if tid.index() >= type_delay.len() {
+                        type_delay.push(lib.delay_ps(ty));
+                        type_width.push(ty.max_width());
+                    }
+                    required_type_id[i] = Some(tid);
+                }
+            }
+            required_ty[i] = ty;
+            has_side_effects[i] = op.kind.has_side_effects();
+            if has_side_effects[i] {
+                cond_ops[i] = op.predicate.condition_ops();
+            }
+            pred_lits[i] = PredLits::of(&op.predicate);
+            launches_from_register[i] = matches!(op.kind, OpKind::Read(_) | OpKind::Pass);
+        }
+
+        let mut scc_of = vec![None; n];
+        for (si, scc) in sccs.iter().enumerate() {
+            for &op in &scc.ops {
+                scc_of[op.index()] = Some(si as u32);
+            }
+        }
+
+        let pin = (0..n)
+            .map(|i| body.pin_of(OpId::from_raw(i as u32)))
+            .collect();
+
+        PassStatics {
+            n,
+            preds,
+            extra_preds,
+            pin,
+            required_ty,
+            needs_resource,
+            class_id,
+            required_type_id,
+            type_delay,
+            type_width,
+            complexity,
+            asap,
+            below,
+            fanout,
+            cond_ops,
+            has_side_effects,
+            pred_lits,
+            scc_of,
+            ops_per_class,
+            launches_from_register,
+        }
+    }
+}
+
+/// One placed operation: its control step, binding and output arrival time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct PlacedOp {
+    state: u32,
+    resource: Option<ResourceInstanceId>,
+    arrival: f64,
+}
+
+/// The mutable pass state — everything a control step's decisions can read
+/// or write. Cloning it (one `Vec` clone per field) is what a per-state
+/// snapshot costs; the busy table and combinational graph are derived from
+/// `placed` and deliberately excluded.
+#[derive(Clone)]
+struct Frame {
+    placed: Vec<Option<PlacedOp>>,
+    num_placed: usize,
+    scc_dyn_stage: Vec<Option<u32>>,
+    /// Reasons recorded by the op's latest failed binding attempt; `None`
+    /// means the op was never attempted (the failure report treats an
+    /// attempted-but-reasonless op differently from a never-attempted one).
+    last_reasons: Vec<Option<Vec<Restraint>>>,
+    first_considered: Vec<Option<u32>>,
+    min_slack: f64,
+}
+
+impl Frame {
+    fn fresh(n: usize, scc_stage_input: &[Option<u32>]) -> Self {
+        Frame {
+            placed: vec![None; n],
+            num_placed: 0,
+            scc_dyn_stage: scc_stage_input.to_vec(),
+            last_reasons: vec![None; n],
+            first_considered: vec![None; n],
+            min_slack: f64::INFINITY,
+        }
+    }
+}
+
+/// Outcome of one engine pass (the schedule itself stays inside the engine
+/// until the driver extracts it, so success allocates nothing).
+pub(crate) enum EngineOutcome {
+    Success { min_slack_ps: f64 },
+    Failure(PassFailure),
+}
+
+/// The incremental scheduling engine. Owns the allocated resources, the
+/// relaxation inputs and the persisted pass state; `run_pass(resume_from)`
+/// executes one (possibly partial) pass and `apply` folds a relaxation
+/// action in, returning the resume point for the next pass.
+pub(crate) struct Engine<'a> {
+    body: &'a LinearBody,
+    lib: &'a TechLibrary,
+    config: &'a SchedulerConfig,
+    statics: PassStatics,
+    interner: Interner,
+    timing: ChainTiming<'a>,
+    sccs: &'a [Scc],
+
+    // relaxation inputs
+    pub(crate) resources: ResourceSet,
+    forbidden: Vec<Vec<ResourceInstanceId>>,
+    scc_stage_input: Vec<Option<u32>>,
+    pub(crate) latency: u32,
+
+    // derived, maintained across passes
+    insts_per_class: Vec<usize>,
+    /// Interned type per resource instance, in instance-id order.
+    inst_type_ids: Vec<ResourceTypeId>,
+    compat: Vec<Vec<ResourceInstanceId>>,
+    order: Vec<OpId>,
+
+    // persisted pass state
+    frame: Frame,
+    snapshots: Vec<Frame>,
+
+    // scratch reused across passes
+    busy: Vec<Vec<OpId>>,
+    comb_succ: Vec<Vec<u32>>,
+    comb_mark: Vec<u32>,
+    comb_epoch: u32,
+    ready: Vec<OpId>,
+    in_arrivals: Vec<f64>,
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(
+        body: &'a LinearBody,
+        lib: &'a TechLibrary,
+        config: &'a SchedulerConfig,
+        sccs: &'a [Scc],
+        resources: ResourceSet,
+        latency: u32,
+    ) -> Self {
+        let mut interner = Interner::new();
+        let statics = PassStatics::build(body, lib, sccs, &mut interner);
+        let n = statics.n;
+        let num_classes = interner.num_classes();
+        let mut engine = Engine {
+            body,
+            lib,
+            config,
+            statics,
+            interner,
+            timing: ChainTiming::new(lib, config.clock),
+            sccs,
+            resources: ResourceSet::new(),
+            forbidden: vec![Vec::new(); n],
+            scc_stage_input: vec![None; sccs.len()],
+            latency: latency.max(1),
+            insts_per_class: vec![0; num_classes],
+            inst_type_ids: Vec::new(),
+            compat: vec![Vec::new(); n],
+            order: Vec::new(),
+            frame: Frame::fresh(n, &[]),
+            snapshots: Vec::new(),
+            busy: Vec::new(),
+            comb_succ: Vec::new(),
+            comb_mark: Vec::new(),
+            comb_epoch: 0,
+            ready: Vec::with_capacity(n),
+            in_arrivals: Vec::with_capacity(8),
+        };
+        engine.frame = Frame::fresh(n, &engine.scc_stage_input);
+        for inst in resources.iter() {
+            engine.note_instance(&inst.ty);
+        }
+        engine.resources = resources;
+        engine.rebuild_compat();
+        engine.order = engine.order_for(engine.latency);
+        engine
+    }
+
+    /// Seeds the relaxation inputs (used by the one-shot `schedule_pass`
+    /// wrapper to honour an explicit `PassInput`).
+    pub(crate) fn seed_inputs(
+        &mut self,
+        forbidden: impl IntoIterator<Item = (OpId, ResourceInstanceId)>,
+        scc_stage: impl IntoIterator<Item = (usize, u32)>,
+    ) {
+        for (op, res) in forbidden {
+            if op.index() < self.forbidden.len() {
+                self.forbidden[op.index()].push(res);
+            }
+        }
+        for (scc, stage) in scc_stage {
+            if scc < self.scc_stage_input.len() {
+                self.scc_stage_input[scc] = Some(stage);
+            }
+        }
+        self.frame = Frame::fresh(self.statics.n, &self.scc_stage_input);
+    }
+
+    /// The SCC stage inputs in the `HashMap`-like shape `choose_action` uses.
+    pub(crate) fn scc_stage(&self) -> &[Option<u32>] {
+        &self.scc_stage_input
+    }
+
+    fn note_instance(&mut self, ty: &ResourceType) {
+        let cid = self.interner.class_id(&ty.class);
+        if cid.index() >= self.insts_per_class.len() {
+            self.insts_per_class.resize(cid.index() + 1, 0);
+        }
+        if cid.index() >= self.statics.ops_per_class.len() {
+            self.statics.ops_per_class.resize(cid.index() + 1, 0);
+        }
+        self.insts_per_class[cid.index()] += 1;
+        let tid = self.interner.type_id(ty);
+        if tid.index() >= self.statics.type_delay.len() {
+            self.statics.type_delay.push(self.lib.delay_ps(ty));
+            self.statics.type_width.push(ty.max_width());
+        }
+        self.inst_type_ids.push(tid);
+    }
+
+    /// Mirrors `ResourceType::can_implement` given the op's precomputed
+    /// required type (avoids re-deriving it per check).
+    fn type_can_implement(required: &ResourceType, have: &ResourceType) -> bool {
+        required.class == have.class
+            && required.out_width <= have.out_width
+            && required.in_widths.len() <= have.in_widths.len()
+            && required
+                .in_widths
+                .iter()
+                .zip(have.in_widths.iter())
+                .all(|(need, h)| need <= h)
+    }
+
+    fn rebuild_compat(&mut self) {
+        for c in &mut self.compat {
+            c.clear();
+        }
+        for i in 0..self.statics.n {
+            if let Some(req) = &self.statics.required_ty[i] {
+                for inst in self.resources.iter() {
+                    if Self::type_can_implement(req, &inst.ty) {
+                        self.compat[i].push(inst.id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Priority order for a given latency: complexity (delay) descending,
+    /// then mobility ascending, then fanout cone descending, then id —
+    /// exactly the comparator of the original per-round `ready.sort_by`.
+    fn order_for(&self, latency: u32) -> Vec<OpId> {
+        let latency = latency.max(1);
+        let depth = latency.saturating_sub(1);
+        let s = &self.statics;
+        let mobility = |i: usize| -> u32 {
+            let alap = depth.saturating_sub(s.below[i]);
+            alap.saturating_sub(s.asap[i])
+        };
+        let mut order: Vec<OpId> = (0..s.n as u32).map(OpId::from_raw).collect();
+        order.sort_by(|&a, &b| {
+            let (ia, ib) = (a.index(), b.index());
+            s.complexity[ib]
+                .partial_cmp(&s.complexity[ia])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| mobility(ia).cmp(&mobility(ib)))
+                .then_with(|| s.fanout[ib].cmp(&s.fanout[ia]))
+                .then_with(|| a.cmp(&b))
+        });
+        order
+    }
+
+    /// Applies a relaxation action and returns the state the next pass must
+    /// resume from to stay bit-exact with a from-scratch pass.
+    pub(crate) fn apply(&mut self, action: &RelaxAction) -> u32 {
+        match action {
+            RelaxAction::AddState => {
+                let old_latency = self.latency;
+                self.latency += 1;
+                let new_order = self.order_for(self.latency);
+                if new_order == self.order {
+                    old_latency
+                } else {
+                    // mobility saturation reordered the priorities; a
+                    // truncated-latency prefix is no longer reusable
+                    self.order = new_order;
+                    0
+                }
+            }
+            RelaxAction::AddResource(ty) => {
+                let inst_id = self.resources.add(ty.clone());
+                self.note_instance(ty);
+                let cid = self.interner.class_id(&ty.class);
+                let new_ty = &self.resources.instance(inst_id).ty;
+                let mut resume = None;
+                for i in 0..self.statics.n {
+                    if self.statics.class_id[i] != Some(cid) {
+                        continue;
+                    }
+                    if let Some(req) = &self.statics.required_ty[i] {
+                        if Self::type_can_implement(req, new_ty) {
+                            self.compat[i].push(inst_id);
+                        }
+                    }
+                    resume = min_opt(resume, self.frame.first_considered[i]);
+                }
+                resume.unwrap_or(0)
+            }
+            RelaxAction::MoveScc { scc_index } => {
+                let cur = self
+                    .scc_stage_input
+                    .get(*scc_index)
+                    .copied()
+                    .flatten()
+                    .unwrap_or(0);
+                if *scc_index < self.scc_stage_input.len() {
+                    self.scc_stage_input[*scc_index] = Some(cur + 1);
+                }
+                let mut resume = None;
+                if let Some(scc) = self.sccs.get(*scc_index) {
+                    for &op in &scc.ops {
+                        resume = min_opt(resume, self.frame.first_considered[op.index()]);
+                    }
+                }
+                resume.unwrap_or(0)
+            }
+            RelaxAction::ForbidBinding { op, resource } => {
+                self.forbidden[op.index()].push(*resource);
+                self.frame.first_considered[op.index()].unwrap_or(0)
+            }
+        }
+    }
+
+    fn fold(&self, state: u32, ii: u32) -> u32 {
+        if self.config.pipeline.is_some() {
+            state % ii
+        } else {
+            state
+        }
+    }
+
+    fn scc_window(&self, idx: usize, dyn_stage: &[Option<u32>], ii: u32) -> Option<(u32, u32)> {
+        dyn_stage[idx].map(|stage| (stage * ii, (stage * ii + ii - 1).min(self.latency - 1)))
+    }
+
+    /// Rebuilds the busy table and combinational graph from the current
+    /// placement (they are pure functions of it).
+    fn rebuild_derived(&mut self, fold_states: u32, ii: u32) {
+        let slots = self.resources.len() * fold_states as usize;
+        for b in &mut self.busy {
+            b.clear();
+        }
+        if self.busy.len() < slots {
+            self.busy.resize_with(slots, Vec::new);
+        }
+        for c in &mut self.comb_succ {
+            c.clear();
+        }
+        if self.comb_succ.len() < self.resources.len() {
+            self.comb_succ.resize_with(self.resources.len(), Vec::new);
+            self.comb_mark.resize(self.resources.len(), 0);
+        }
+        for i in 0..self.statics.n {
+            let Some(p) = &self.frame.placed[i] else {
+                continue;
+            };
+            if let Some(r) = p.resource {
+                let slot = r.index() * fold_states as usize + self.fold(p.state, ii) as usize;
+                self.busy[slot].push(OpId::from_raw(i as u32));
+            }
+        }
+        for i in 0..self.statics.n {
+            let Some(pc) = self.frame.placed[i] else {
+                continue;
+            };
+            let Some(rc) = pc.resource else { continue };
+            for sig in &self.body.dfg.op(OpId::from_raw(i as u32)).inputs {
+                if sig.distance > 0 {
+                    continue;
+                }
+                let Some(prod) = sig.producer() else { continue };
+                let Some(pp) = self.frame.placed[prod.index()] else {
+                    continue;
+                };
+                if pp.state == pc.state {
+                    if let Some(rp) = pp.resource {
+                        comb_add_edge(&mut self.comb_succ, rp.0, rc.0);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mirrors `CombGraph::would_create_cycle`: adding `from → to` closes a
+    /// cycle iff `from == to` or a path `to → … → from` already exists.
+    fn comb_would_create_cycle(&mut self, from: u32, to: u32) -> bool {
+        if from == to {
+            return true;
+        }
+        self.comb_epoch += 1;
+        let epoch = self.comb_epoch;
+        let mut dfs: Vec<u32> = vec![to];
+        while let Some(v) = dfs.pop() {
+            if self.comb_mark[v as usize] == epoch {
+                continue;
+            }
+            self.comb_mark[v as usize] = epoch;
+            for &s in &self.comb_succ[v as usize] {
+                if s == from {
+                    return true;
+                }
+                dfs.push(s);
+            }
+        }
+        false
+    }
+
+    /// Runs one pass from `resume_from`, restoring the snapshot when
+    /// resuming mid-schedule. `resume_from = 0` is a full, from-scratch pass.
+    pub(crate) fn run_pass(&mut self, resume_from: u32) -> EngineOutcome {
+        let latency = self.latency.max(1);
+        let config = self.config;
+        let ii = config.ii_or(latency);
+        let pipelined = config.pipeline.is_some();
+        let sharing = config.sharing_possible();
+        let n = self.statics.n;
+
+        // --- restore ---------------------------------------------------------
+        let resume_from = resume_from.min(latency);
+        if resume_from == 0 {
+            self.frame = Frame::fresh(n, &self.scc_stage_input);
+            self.snapshots.clear();
+        } else if (resume_from as usize) < self.snapshots.len() {
+            self.frame = self.snapshots[resume_from as usize].clone();
+            self.snapshots.truncate(resume_from as usize);
+            // re-apply the (possibly updated) input stage pins; for sccs
+            // whose input is unchanged this is a no-op
+            for (i, stage) in self.scc_stage_input.iter().enumerate() {
+                if let Some(v) = stage {
+                    self.frame.scc_dyn_stage[i] = Some(*v);
+                }
+            }
+        } else {
+            // continue from the live frame (AddState append); snapshots for
+            // the existing states remain valid
+            self.snapshots.truncate(resume_from as usize);
+        }
+        let fold_states = if pipelined { ii } else { latency };
+        self.rebuild_derived(fold_states, ii);
+
+        // --- control steps ---------------------------------------------------
+        for state in resume_from..latency {
+            debug_assert_eq!(self.snapshots.len(), state as usize);
+            self.snapshots.push(self.frame.clone());
+            loop {
+                // ready operations, already in priority order
+                self.ready.clear();
+                let mut ready = std::mem::take(&mut self.ready);
+                for idx in 0..self.order.len() {
+                    let op_id = self.order[idx];
+                    let i = op_id.index();
+                    if self.frame.placed[i].is_some() {
+                        continue;
+                    }
+                    let preds_ok = self.statics.preds[i].iter().all(|p| {
+                        self.frame.placed[p.index()]
+                            .map(|s| s.state <= state)
+                            .unwrap_or(false)
+                    }) && self.statics.extra_preds[i].iter().all(|p| {
+                        self.frame.placed[p.index()]
+                            .map(|s| s.state <= state)
+                            .unwrap_or(false)
+                    });
+                    if !preds_ok {
+                        continue;
+                    }
+                    if let Some(pin) = self.statics.pin[i] {
+                        if !pin.allows(hls_ir::StateIdx::new(state)) {
+                            continue;
+                        }
+                    }
+                    if self.frame.first_considered[i].is_none() {
+                        self.frame.first_considered[i] = Some(state);
+                    }
+                    if let Some(scc) = self.statics.scc_of[i] {
+                        if let Some((lo, hi)) =
+                            self.scc_window(scc as usize, &self.frame.scc_dyn_stage, ii)
+                        {
+                            if state < lo || state > hi {
+                                continue;
+                            }
+                        }
+                    }
+                    ready.push(op_id);
+                }
+                if ready.is_empty() {
+                    self.ready = ready;
+                    break;
+                }
+
+                let mut placed_any = false;
+                for &op_id in &ready {
+                    if self.try_place(op_id, state, ii, fold_states, sharing) {
+                        placed_any = true;
+                    }
+                }
+                self.ready = ready;
+                if !placed_any {
+                    break;
+                }
+            }
+        }
+
+        // --- outcome ---------------------------------------------------------
+        if self.frame.num_placed == n {
+            let min_slack_ps = if self.frame.min_slack.is_finite() {
+                self.frame.min_slack
+            } else {
+                config.clock.period_ps()
+            };
+            EngineOutcome::Success { min_slack_ps }
+        } else {
+            let mut failure = PassFailure {
+                scheduled: self.frame.num_placed,
+                ..PassFailure::default()
+            };
+            for i in 0..n {
+                if self.frame.placed[i].is_some() {
+                    continue;
+                }
+                let preds_ok = self.statics.preds[i]
+                    .iter()
+                    .all(|p| self.frame.placed[p.index()].is_some());
+                if !preds_ok {
+                    continue;
+                }
+                let id = OpId::from_raw(i as u32);
+                failure.failed_ops.push(id);
+                if let Some(rs) = &self.frame.last_reasons[i] {
+                    failure.restraints.extend(rs.iter().cloned());
+                } else if let Some(ty) = &self.statics.required_ty[i] {
+                    failure.restraints.push(Restraint::ResourceContention {
+                        op: id,
+                        ty: ty.clone(),
+                    });
+                }
+            }
+            EngineOutcome::Failure(failure)
+        }
+    }
+
+    /// Attempts to place one ready operation in `state`. Returns whether a
+    /// placement happened. Mirrors the original pass body exactly.
+    #[allow(clippy::too_many_lines)]
+    fn try_place(
+        &mut self,
+        op_id: OpId,
+        state: u32,
+        ii: u32,
+        fold_states: u32,
+        sharing: bool,
+    ) -> bool {
+        let i = op_id.index();
+        let op = self.body.dfg.op(op_id);
+
+        // input arrival times
+        let mut inputs_ready = true;
+        self.in_arrivals.clear();
+        let mut in_arrivals = std::mem::take(&mut self.in_arrivals);
+        for sig in &op.inputs {
+            let a = match sig.producer() {
+                None => 0.0,
+                Some(_) if sig.distance > 0 => self.timing.register_arrival_ps(),
+                Some(p) => match self.frame.placed[p.index()] {
+                    Some(sp) if sp.state < state => self.timing.register_arrival_ps(),
+                    Some(sp) if sp.state == state => sp.arrival,
+                    _ => {
+                        inputs_ready = false;
+                        0.0
+                    }
+                },
+            };
+            in_arrivals.push(a);
+        }
+        if self.statics.has_side_effects[i] {
+            for cond in &self.statics.cond_ops[i] {
+                match self.frame.placed[cond.index()] {
+                    Some(sp) if sp.state < state => {
+                        in_arrivals.push(self.timing.register_arrival_ps());
+                    }
+                    Some(sp) if sp.state == state => {
+                        in_arrivals.push(sp.arrival);
+                    }
+                    _ => inputs_ready = false,
+                }
+            }
+        }
+        if !inputs_ready {
+            self.in_arrivals = in_arrivals;
+            return false;
+        }
+
+        if !self.statics.needs_resource[i] {
+            let a = if self.statics.launches_from_register[i] {
+                self.timing.register_arrival_ps()
+            } else {
+                in_arrivals.iter().copied().fold(0.0f64, f64::max)
+            };
+            self.frame.placed[i] = Some(PlacedOp {
+                state,
+                resource: None,
+                arrival: a,
+            });
+            self.frame.num_placed += 1;
+            self.in_arrivals = in_arrivals;
+            return true;
+        }
+
+        let class = self.statics.class_id[i].expect("datapath op has a class");
+        let share = {
+            let ops = self.statics.ops_per_class[class.index()].max(1);
+            let insts = self.insts_per_class[class.index()].max(1);
+            ops.div_ceil(insts)
+        };
+
+        let mut reasons: Vec<Restraint> = Vec::new();
+        let mut bound = false;
+        let compat = std::mem::take(&mut self.compat[i]);
+        for &res_id in &compat {
+            if self.forbidden[i].contains(&res_id) {
+                continue;
+            }
+            // busy check in this folded state (mutually exclusive predicated
+            // ops may still share)
+            let slot = res_id.index() * fold_states as usize + self.fold(state, ii) as usize;
+            let conflict = self.busy[slot].iter().any(|other| {
+                !self.statics.pred_lits[other.index()]
+                    .mutually_exclusive(&self.statics.pred_lits[i])
+            });
+            if conflict {
+                reasons.push(Restraint::ResourceContention {
+                    op: op_id,
+                    ty: self.resources.instance(res_id).ty.clone(),
+                });
+                continue;
+            }
+            // timing check (mirrors `ChainTiming::op_arrival_ps` over the
+            // interned per-type delay/width tables — no type hashing)
+            let tid = self.inst_type_ids[res_id.index()];
+            let base = in_arrivals.iter().copied().fold(0.0f64, f64::max);
+            let a = base
+                + self
+                    .timing
+                    .input_mux_delay_ps(share, self.statics.type_width[tid.index()])
+                + self.statics.type_delay[tid.index()];
+            let slack = self.timing.slack_shared_ps(a, op.width, sharing);
+            if slack < 0.0 {
+                reasons.push(Restraint::NegativeSlack {
+                    op: op_id,
+                    slack_ps: slack,
+                });
+                continue;
+            }
+            // combinational cycle check
+            if self.config.avoid_comb_cycles {
+                let mut creates_cycle = false;
+                for sig in &op.inputs {
+                    if sig.distance > 0 {
+                        continue;
+                    }
+                    if let Some(p) = sig.producer() {
+                        if let Some(sp) = self.frame.placed[p.index()] {
+                            if sp.state == state {
+                                if let Some(rp) = sp.resource {
+                                    if self.comb_would_create_cycle(rp.0, res_id.0) {
+                                        creates_cycle = true;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                if creates_cycle {
+                    reasons.push(Restraint::CombCycle {
+                        op: op_id,
+                        resource: res_id,
+                    });
+                    continue;
+                }
+            }
+            // accept the binding
+            for sig in &op.inputs {
+                if sig.distance > 0 {
+                    continue;
+                }
+                if let Some(p) = sig.producer() {
+                    if let Some(sp) = self.frame.placed[p.index()] {
+                        if sp.state == state {
+                            if let Some(rp) = sp.resource {
+                                comb_add_edge(&mut self.comb_succ, rp.0, res_id.0);
+                            }
+                        }
+                    }
+                }
+            }
+            self.busy[slot].push(op_id);
+            self.frame.placed[i] = Some(PlacedOp {
+                state,
+                resource: Some(res_id),
+                arrival: a,
+            });
+            self.frame.num_placed += 1;
+            self.frame.min_slack = self.frame.min_slack.min(slack);
+            // pin the SCC stage on first placement
+            if let Some(scc) = self.statics.scc_of[i] {
+                let entry = &mut self.frame.scc_dyn_stage[scc as usize];
+                if entry.is_none() {
+                    *entry = Some(state / ii);
+                }
+            }
+            bound = true;
+            break;
+        }
+        if !bound {
+            // If every instance was busy, also check whether a brand new
+            // instance would have met timing; if not, the real problem is
+            // slack, not hardware.
+            if reasons
+                .iter()
+                .all(|r| matches!(r, Restraint::ResourceContention { .. }))
+            {
+                if let Some(tid) = self.statics.required_type_id[i] {
+                    let base = in_arrivals.iter().copied().fold(0.0f64, f64::max);
+                    let a = base
+                        + self
+                            .timing
+                            .input_mux_delay_ps(share, self.statics.type_width[tid.index()])
+                        + self.statics.type_delay[tid.index()];
+                    let slack = self.timing.slack_shared_ps(a, op.width, sharing);
+                    if slack < 0.0 {
+                        reasons.push(Restraint::NegativeSlack {
+                            op: op_id,
+                            slack_ps: slack,
+                        });
+                    }
+                }
+            }
+            if compat.is_empty() {
+                if let Some(ty) = self.statics.required_ty[i].clone() {
+                    reasons.push(Restraint::ResourceContention { op: op_id, ty });
+                }
+            }
+            if let Some(scc) = self.statics.scc_of[i] {
+                if self
+                    .scc_window(scc as usize, &self.frame.scc_dyn_stage, ii)
+                    .map(|(_, hi)| state >= hi)
+                    .unwrap_or(false)
+                {
+                    reasons.push(Restraint::SccWindow {
+                        scc_index: scc as usize,
+                        op: op_id,
+                    });
+                }
+            }
+            self.frame.last_reasons[i] = Some(reasons);
+        }
+        self.compat[i] = compat;
+        self.in_arrivals = in_arrivals;
+        bound
+    }
+
+    /// Extracts the schedule after a successful pass, consuming the engine
+    /// (the resource set is moved, not cloned).
+    pub(crate) fn into_desc(self) -> ScheduleDesc {
+        let mut ops = std::collections::BTreeMap::new();
+        for (i, p) in self.frame.placed.iter().enumerate() {
+            let p = p.as_ref().expect("into_desc requires a complete schedule");
+            let id = OpId::from_raw(i as u32);
+            ops.insert(
+                id,
+                ScheduledOp {
+                    op: id,
+                    state: p.state,
+                    resource: p.resource,
+                },
+            );
+        }
+        ScheduleDesc {
+            num_states: self.latency,
+            ii: self.config.pipeline.map(|p| p.ii),
+            ops,
+            resources: self.resources,
+        }
+    }
+}
+
+fn comb_add_edge(succ: &mut [Vec<u32>], from: u32, to: u32) {
+    let entry = &mut succ[from as usize];
+    if !entry.contains(&to) {
+        entry.push(to);
+    }
+}
+
+fn min_opt(a: Option<u32>, b: Option<u32>) -> Option<u32> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}

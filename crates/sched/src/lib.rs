@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+mod engine;
 pub mod error;
 pub mod pass;
 pub mod relax;
@@ -40,7 +41,7 @@ pub mod scheduler;
 
 pub use config::{PipelineRequest, SchedulerConfig};
 pub use error::SchedError;
-pub use pass::{PassFailure, PassOutcome};
+pub use pass::{schedule_pass, schedule_pass_reference, PassFailure, PassInput, PassOutcome};
 pub use relax::{RelaxAction, Restraint};
 pub use resources::initial_resource_set;
 pub use scheduler::{schedule_separated, Schedule, Scheduler};

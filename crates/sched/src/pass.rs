@@ -1,7 +1,13 @@
 //! A single scheduling pass: simultaneous scheduling and binding over the
 //! control steps of the loop body (Figure 7 of the paper).
+//!
+//! The pass algorithm itself lives in the dense [`engine`](crate::engine)
+//! module, which the multi-pass [`Scheduler`](crate::scheduler::Scheduler)
+//! drives *incrementally*; the functions here run one pass from scratch and
+//! are the reference the incremental driver is validated against.
 
 use crate::config::SchedulerConfig;
+use crate::engine::{Engine, EngineOutcome};
 use crate::relax::Restraint;
 use hls_ir::analysis::{alap_levels, asap_levels, Scc};
 use hls_ir::{LinearBody, OpId, OpKind};
@@ -55,8 +61,36 @@ pub enum PassOutcome {
     Failure(PassFailure),
 }
 
-/// Runs one scheduling pass.
+/// Runs one scheduling pass, from scratch.
 pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
+    let mut engine = Engine::new(
+        input.body,
+        input.lib,
+        input.config,
+        input.sccs,
+        input.resources.clone(),
+        input.latency,
+    );
+    engine.seed_inputs(
+        input.forbidden.iter().copied(),
+        input.scc_stage.iter().map(|(&scc, &stage)| (scc, stage)),
+    );
+    match engine.run_pass(0) {
+        EngineOutcome::Success { min_slack_ps } => PassOutcome::Success {
+            desc: engine.into_desc(),
+            min_slack_ps,
+        },
+        EngineOutcome::Failure(failure) => PassOutcome::Failure(failure),
+    }
+}
+
+/// The retained reference pass: the original `HashMap`-based implementation,
+/// kept verbatim. The schedule-equivalence regression suite re-schedules
+/// every design through a driver built on this function
+/// ([`Scheduler::run_reference`](crate::scheduler::Scheduler::run_reference))
+/// and asserts the incremental arena-backed scheduler produces the identical
+/// `ScheduleDesc`, pass count and action sequence.
+pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
     let body = input.body;
     let config = input.config;
     let latency = input.latency.max(1);

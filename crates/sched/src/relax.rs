@@ -9,7 +9,7 @@
 use crate::config::SchedulerConfig;
 use hls_ir::OpId;
 use hls_tech::{ResourceInstanceId, ResourceSet, ResourceType, TechLibrary};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// A reason recorded when a binding attempt fails.
@@ -165,9 +165,12 @@ pub fn choose_action(
     }
 
     // Add resources, one candidate per contended type whose ops do not also
-    // fail on timing (adding hardware cannot fix negative slack).
+    // fail on timing (adding hardware cannot fix negative slack). Types are
+    // merged at `name()` granularity (class + operand widths), as the
+    // original expert system did; the ordered map makes the candidate order
+    // — which breaks score ties — deterministic.
     if config.allow_add_resources {
-        let mut by_type: HashMap<String, (ResourceType, f64)> = HashMap::new();
+        let mut by_type: BTreeMap<String, (ResourceType, f64)> = BTreeMap::new();
         for r in restraints {
             if let Restraint::ResourceContention { op, ty } = r {
                 let also_slack = restraints.iter().any(
@@ -188,11 +191,12 @@ pub fn choose_action(
         }
     }
 
-    // Move an SCC to the next stage (pipelined only).
+    // Move an SCC to the next stage (pipelined only). Deterministic
+    // candidate order for the same reason as above.
     if config.pipeline.is_some() && config.allow_scc_move && num_sccs > 0 {
         let ii = config.ii_or(latency);
         let num_stages = latency.div_ceil(ii).max(1);
-        let mut by_scc: HashMap<usize, f64> = HashMap::new();
+        let mut by_scc: BTreeMap<usize, f64> = BTreeMap::new();
         for r in restraints {
             match r {
                 Restraint::SccWindow { scc_index, .. } => {

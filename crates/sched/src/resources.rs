@@ -48,14 +48,21 @@ pub fn initial_resource_set(body: &LinearBody, slots_per_instance: u32) -> Resou
     let mut set = ResourceSet::new();
     for (_, (ty, ops)) in groups {
         // Mutually exclusive operations can share an execution slot: pair them
-        // greedily and count each pair once.
+        // greedily and count each pair once. Unconditional operations can
+        // never be exclusive with anything, so they skip the pairing scan —
+        // on large synthetic designs (mostly unpredicated) this keeps the
+        // estimate linear instead of quadratic.
         let mut counted: Vec<hls_ir::OpId> = Vec::new();
         let mut effective = 0usize;
         for &op in &ops {
             let pred = &body.dfg.op(op).predicate;
-            let exclusive_partner = counted
-                .iter()
-                .position(|&other| body.dfg.op(other).predicate.mutually_exclusive(pred));
+            let exclusive_partner = if pred.is_true() {
+                None
+            } else {
+                counted
+                    .iter()
+                    .position(|&other| body.dfg.op(other).predicate.mutually_exclusive(pred))
+            };
             if let Some(pos) = exclusive_partner {
                 counted.remove(pos);
             } else {

@@ -1,9 +1,18 @@
 //! The multi-pass scheduling driver: run a pass, and when it fails let the
 //! relaxation expert system pick a corrective action and try again.
+//!
+//! [`Scheduler::run`] drives the dense engine *incrementally*: the pass
+//! state persists across relaxation actions and each re-pass resumes from
+//! the earliest control step the action can influence instead of
+//! rescheduling every operation. [`Scheduler::run_reference`] retains the
+//! original schedule-everything-every-pass driver over
+//! [`schedule_pass_reference`](crate::pass::schedule_pass_reference); the
+//! two are asserted bit-identical by the schedule-equivalence suite.
 
 use crate::config::SchedulerConfig;
+use crate::engine::{Engine, EngineOutcome};
 use crate::error::SchedError;
-use crate::pass::{schedule_pass, PassInput, PassOutcome};
+use crate::pass::{schedule_pass, schedule_pass_reference, PassInput, PassOutcome};
 use crate::relax::{choose_action, RelaxAction};
 use crate::resources::initial_resource_set;
 use hls_ir::analysis::{sccs, Scc};
@@ -62,6 +71,11 @@ impl<'a> Scheduler<'a> {
     /// Runs scheduling passes until success or until no relaxation action is
     /// applicable.
     ///
+    /// Re-passes are incremental: the engine persists the pass state, each
+    /// relaxation action reports the earliest control step it can influence,
+    /// and the next pass resumes there — producing the identical schedule a
+    /// from-scratch re-pass would (see [`Scheduler::run_reference`]).
+    ///
     /// # Errors
     /// Returns [`SchedError::InvalidBody`] if the body fails validation, or
     /// [`SchedError::Overconstrained`] if the latency/resource bounds cannot
@@ -70,10 +84,91 @@ impl<'a> Scheduler<'a> {
         self.body.validate()?;
         let components: Vec<Scc> = sccs(&self.body.dfg);
 
-        let mut latency = self.config.min_latency.max(1);
+        let latency = self.config.min_latency.max(1);
         // The lower-bound resource estimate uses the *most generous* latency
         // the designer allows (the paper sizes Example 1 with "3 multiplies in
         // at most 3 states"), or the II for pipelined loops.
+        let slots = self.config.ii_or(self.config.max_latency);
+        let resources: ResourceSet = initial_resource_set(self.body, slots);
+        let mut engine = Engine::new(
+            self.body,
+            self.lib,
+            &self.config,
+            &components,
+            resources,
+            latency,
+        );
+        let mut actions: Vec<RelaxAction> = Vec::new();
+        let mut resume_from = 0u32;
+
+        for pass_no in 1..=self.config.max_passes {
+            match engine.run_pass(resume_from) {
+                EngineOutcome::Success { min_slack_ps } => {
+                    let latency = engine.latency;
+                    return Ok(Schedule {
+                        desc: engine.into_desc(),
+                        latency,
+                        min_slack_ps,
+                        passes: pass_no,
+                        actions,
+                    });
+                }
+                EngineOutcome::Failure(failure) => {
+                    let scc_stage: HashMap<usize, u32> = engine
+                        .scc_stage()
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, s)| s.map(|v| (i, v)))
+                        .collect();
+                    let action = choose_action(
+                        &failure.restraints,
+                        &self.config,
+                        self.lib,
+                        engine.latency,
+                        components.len(),
+                        &scc_stage,
+                        &engine.resources,
+                        &failure.failed_ops,
+                    );
+                    let Some(action) = action else {
+                        let details = failure
+                            .restraints
+                            .iter()
+                            .map(|r| r.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; ");
+                        return Err(SchedError::Overconstrained {
+                            latency: engine.latency,
+                            passes: pass_no,
+                            details,
+                        });
+                    };
+                    resume_from = engine.apply(&action);
+                    actions.push(action);
+                }
+            }
+        }
+        Err(SchedError::Overconstrained {
+            latency: engine.latency,
+            passes: self.config.max_passes,
+            details: "maximum number of scheduling passes exceeded".to_string(),
+        })
+    }
+
+    /// The retained reference driver: re-runs the original from-scratch
+    /// [`schedule_pass_reference`] after every relaxation action, exactly as
+    /// the pre-incremental scheduler did. Quadratically slower than
+    /// [`Scheduler::run`] on large designs but definitionally correct; the
+    /// schedule-equivalence regression suite asserts `run()` matches it
+    /// bit-for-bit (latency, per-op state and binding, pass count, actions).
+    ///
+    /// # Errors
+    /// Same contract as [`Scheduler::run`].
+    pub fn run_reference(&self) -> Result<Schedule, SchedError> {
+        self.body.validate()?;
+        let components: Vec<Scc> = sccs(&self.body.dfg);
+
+        let mut latency = self.config.min_latency.max(1);
         let slots = self.config.ii_or(self.config.max_latency);
         let mut resources: ResourceSet = initial_resource_set(self.body, slots);
         let mut forbidden: HashSet<(OpId, ResourceInstanceId)> = HashSet::new();
@@ -91,7 +186,7 @@ impl<'a> Scheduler<'a> {
                 scc_stage: &scc_stage,
                 sccs: &components,
             };
-            match schedule_pass(&input) {
+            match schedule_pass_reference(&input) {
                 PassOutcome::Success { desc, min_slack_ps } => {
                     return Ok(Schedule {
                         desc,

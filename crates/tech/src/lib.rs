@@ -35,12 +35,14 @@
 
 pub mod characterization;
 pub mod clock;
+pub mod intern;
 pub mod library;
 pub mod resource;
 pub mod resource_set;
 
 pub use characterization::Characterization;
 pub use clock::ClockConstraint;
+pub use intern::{Interner, ResourceClassId, ResourceTypeId};
 pub use library::{ImplVariant, TechLibrary};
 pub use resource::{ResourceClass, ResourceType};
 pub use resource_set::{ResourceInstance, ResourceInstanceId, ResourceSet};

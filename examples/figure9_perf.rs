@@ -1,0 +1,55 @@
+//! Figure 9 perf driver: schedules the synthetic design sweep, prints a
+//! paper-style table, and writes the machine-readable perf trajectory to
+//! `BENCH_sched.json` at the repo root.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example figure9_perf              # full 100..2000 sweep
+//! cargo run --release --example figure9_perf -- 150 300 600
+//! FIGURE9_BUDGET_SECONDS=120 cargo run --release --example figure9_perf -- 150 300 600
+//! ```
+//!
+//! With `FIGURE9_BUDGET_SECONDS` set, the process exits non-zero when the
+//! end-to-end wall-clock exceeds the budget — the CI perf smoke job uses
+//! this as its regression gate.
+
+use hls::explore::experiments::{figure9_default_sizes, figure9_sweep};
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("sizes must be integers"))
+        .collect();
+    let sizes = if args.is_empty() {
+        figure9_default_sizes()
+    } else {
+        args
+    };
+
+    let sweep = figure9_sweep(&sizes);
+    print!("{}", sweep.table());
+
+    let json_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_sched.json");
+    sweep
+        .write_json(&json_path)
+        .expect("write BENCH_sched.json");
+    println!("wrote {}", json_path.display());
+
+    if let Ok(budget) = std::env::var("FIGURE9_BUDGET_SECONDS") {
+        let budget: f64 = budget
+            .parse()
+            .expect("FIGURE9_BUDGET_SECONDS must be a number");
+        if sweep.total_seconds > budget {
+            eprintln!(
+                "perf budget exceeded: {:.3}s > {budget:.3}s",
+                sweep.total_seconds
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "within perf budget: {:.3}s <= {budget:.3}s",
+            sweep.total_seconds
+        );
+    }
+}

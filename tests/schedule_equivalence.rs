@@ -1,0 +1,290 @@
+//! Schedule-equivalence regression suite for the incremental scheduler.
+//!
+//! `Scheduler::run` re-passes incrementally (persisted pass state, resume
+//! from the invalidated cone); `Scheduler::run_reference` retains the
+//! original schedule-everything-every-pass driver over the verbatim
+//! pre-arena `schedule_pass_reference`. The two must be **bit-identical** —
+//! same latency, same per-op state and binding, same resource set, same pass
+//! count, same action sequence, same worst slack — on every example and
+//! paper design and on a population of random builder programs; scheduled
+//! designs additionally run through `Synthesizer::verify`, executing the
+//! schedule cycle-accurately against the reference interpreter.
+
+use hls::explore::{idct8_design, synthetic_design, DesignClass};
+use hls::frontend::ast::{Behavior, BinOp, Expr};
+use hls::frontend::BehaviorBuilder;
+use hls::ir::{CmpKind, LinearBody};
+use hls::opt::linearize::prepare_innermost_loop;
+use hls::sched::{SchedError, Schedule, Scheduler, SchedulerConfig};
+use hls::tech::{ClockConstraint, TechLibrary};
+use hls::{designs, Synthesizer};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn assert_equal_schedules(label: &str, incremental: &Schedule, reference: &Schedule) {
+    assert_eq!(
+        incremental.latency, reference.latency,
+        "{label}: latency differs"
+    );
+    assert_eq!(
+        incremental.passes, reference.passes,
+        "{label}: pass count differs"
+    );
+    assert_eq!(
+        incremental.actions, reference.actions,
+        "{label}: relaxation actions differ"
+    );
+    assert_eq!(
+        incremental.min_slack_ps.to_bits(),
+        reference.min_slack_ps.to_bits(),
+        "{label}: min slack differs ({} vs {})",
+        incremental.min_slack_ps,
+        reference.min_slack_ps
+    );
+    assert_eq!(
+        incremental.desc.num_states, reference.desc.num_states,
+        "{label}: num_states differs"
+    );
+    assert_eq!(
+        incremental.desc.ii, reference.desc.ii,
+        "{label}: II differs"
+    );
+    assert_eq!(
+        incremental.desc.resources, reference.desc.resources,
+        "{label}: resource sets differ"
+    );
+    assert_eq!(
+        incremental.desc.ops, reference.desc.ops,
+        "{label}: per-op states/bindings differ"
+    );
+}
+
+/// Runs both drivers on one (body, config) and asserts identical outcomes —
+/// including identical failures for over-constrained specs.
+fn check(label: &str, body: &LinearBody, lib: &TechLibrary, config: SchedulerConfig) -> bool {
+    let incremental = Scheduler::new(body, lib, config.clone()).run();
+    let reference = Scheduler::new(body, lib, config).run_reference();
+    match (incremental, reference) {
+        (Ok(a), Ok(b)) => {
+            assert_equal_schedules(label, &a, &b);
+            true
+        }
+        (
+            Err(SchedError::Overconstrained {
+                latency: la,
+                passes: pa,
+                details: da,
+            }),
+            Err(SchedError::Overconstrained {
+                latency: lb,
+                passes: pb,
+                details: db,
+            }),
+        ) => {
+            assert_eq!((la, pa, da), (lb, pb, db), "{label}: failures differ");
+            false
+        }
+        (a, b) => panic!(
+            "{label}: drivers disagree on success: incremental={:?} reference={:?}",
+            a.map(|s| s.latency),
+            b.map(|s| s.latency)
+        ),
+    }
+}
+
+fn configs_for(clock_ps: f64, max_latency: u32) -> Vec<(String, SchedulerConfig)> {
+    let clock = ClockConstraint::from_period_ps(clock_ps);
+    vec![
+        (
+            "seq".into(),
+            SchedulerConfig::sequential(clock, 1, max_latency),
+        ),
+        (
+            "pipe-ii2".into(),
+            SchedulerConfig::pipelined(clock, 2, max_latency),
+        ),
+        (
+            "pipe-ii1".into(),
+            SchedulerConfig::pipelined(clock, 1, max_latency),
+        ),
+    ]
+}
+
+#[test]
+fn paper_example1_is_equivalent_in_all_microarchitectures() {
+    let mut cdfg = designs::paper_example1_cdfg().expect("elab");
+    let body = prepare_innermost_loop(&mut cdfg).expect("prepare");
+    let lib = TechLibrary::artisan_90nm_typical();
+    for (name, config) in configs_for(1600.0, 6) {
+        check(&format!("example1/{name}"), &body, &lib, config);
+    }
+    // the deliberately over-constrained case must fail identically too
+    let mut tight = SchedulerConfig::sequential(ClockConstraint::from_period_ps(1600.0), 1, 1);
+    tight.allow_add_resources = false;
+    check("example1/overconstrained", &body, &lib, tight);
+}
+
+#[test]
+fn example_designs_are_equivalent() {
+    let lib = TechLibrary::artisan_90nm_typical();
+    let mut scheduled = 0;
+    for (name, behavior) in [
+        ("moving_average", designs::moving_average(3, 16)),
+        ("fir4", designs::fir_filter(&[3, -5, 7, 9], 16)),
+    ] {
+        let mut cdfg = hls::frontend::elaborate(&behavior).expect("elab");
+        let body = prepare_innermost_loop(&mut cdfg).expect("prepare");
+        for (cname, config) in configs_for(1600.0, 12) {
+            if check(&format!("{name}/{cname}"), &body, &lib, config) {
+                scheduled += 1;
+            }
+        }
+    }
+    assert!(scheduled >= 4, "most example configs must schedule");
+}
+
+#[test]
+fn idct_and_synthetic_designs_are_equivalent() {
+    let lib = TechLibrary::artisan_90nm_typical();
+    let idct = idct8_design();
+    for (cname, config) in configs_for(2000.0, 16) {
+        check(&format!("idct8/{cname}"), &idct, &lib, config);
+    }
+    let mut scheduled = 0;
+    for (i, class) in DesignClass::all().into_iter().enumerate() {
+        for &size in &[120usize, 260] {
+            let body = synthetic_design(class, size, 7 + i as u64);
+            let clock = ClockConstraint::from_period_ps(1900.0);
+            let mut seq = SchedulerConfig::sequential(clock, 1, 24);
+            seq.max_passes = 128;
+            let mut pipe = SchedulerConfig::pipelined(clock, 2, 24);
+            pipe.max_passes = 128;
+            if check(&format!("{class:?}/{size}/seq"), &body, &lib, seq) {
+                scheduled += 1;
+            }
+            if check(&format!("{class:?}/{size}/pipe"), &body, &lib, pipe) {
+                scheduled += 1;
+            }
+        }
+    }
+    assert!(scheduled >= 4, "several synthetic configs must schedule");
+}
+
+/// Compact random-behaviour generator (the `prop_differential` shape:
+/// arithmetic/logic/shift/div expressions, a predicated region, a port
+/// write, loop-carried state through the variables).
+fn random_behavior(seed: u64) -> Behavior {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = BehaviorBuilder::new(format!("eq{seed}"));
+    b.port_in("p0", 16);
+    b.port_in("p1", 8);
+    b.port_out("out", 16);
+    let n_vars = rng.gen_range(1usize..=3);
+    let widths = [8u16, 16, 32];
+    let vars: Vec<_> = (0..n_vars)
+        .map(|i| {
+            let w = widths[rng.gen_range(0usize..3)];
+            let init = rng.gen_range(0u64..64) as i64 - 32;
+            b.var(format!("v{i}"), w, init)
+        })
+        .collect();
+    let leaf = |rng: &mut SmallRng, b: &BehaviorBuilder| -> Expr {
+        match rng.gen_range(0u32..5) {
+            0 => b.read_port("p0"),
+            1 => b.read_port("p1"),
+            2 | 3 => Expr::Var(vars[rng.gen_range(0usize..vars.len())]),
+            _ => Expr::Const(rng.gen_range(0u64..512) as i64 - 256),
+        }
+    };
+    let node = |rng: &mut SmallRng, a: Expr, c: Expr| -> Expr {
+        match rng.gen_range(0u32..10) {
+            0 => Expr::add(a, c),
+            1 => Expr::sub(a, c),
+            2 => Expr::mul(a, c),
+            3 => Expr::Binary(BinOp::And, Box::new(a), Box::new(c)),
+            4 => Expr::Binary(BinOp::Xor, Box::new(a), Box::new(c)),
+            5 => Expr::shl(a, Expr::Const(rng.gen_range(0u64..20) as i64)),
+            6 => Expr::shr(a, Expr::Const(rng.gen_range(0u64..20) as i64)),
+            7 => Expr::Binary(BinOp::Div, Box::new(a), Box::new(c)),
+            8 => Expr::Binary(BinOp::Rem, Box::new(a), Box::new(c)),
+            _ => Expr::select(Expr::cmp(CmpKind::Gt, a.clone(), Expr::Const(0)), a, c),
+        }
+    };
+    let mut body = Vec::new();
+    for _ in 0..rng.gen_range(2usize..6) {
+        let var = vars[rng.gen_range(0usize..vars.len())];
+        let l0 = leaf(&mut rng, &b);
+        let l1 = leaf(&mut rng, &b);
+        let mut e = node(&mut rng, l0, l1);
+        if rng.gen_bool(0.5) {
+            let l2 = leaf(&mut rng, &b);
+            e = node(&mut rng, e, l2);
+        }
+        body.push(b.assign(var, e));
+    }
+    if rng.gen_bool(0.7) {
+        let v = vars[rng.gen_range(0usize..vars.len())];
+        let cond = Expr::cmp(
+            CmpKind::Gt,
+            Expr::Var(v),
+            Expr::Const(rng.gen_range(0u64..16) as i64),
+        );
+        let l = leaf(&mut rng, &b);
+        let r = leaf(&mut rng, &b);
+        body.push(b.if_then_else(
+            cond,
+            vec![b.assign(v, Expr::mul(l, Expr::Const(3)))],
+            vec![b.assign(v, Expr::add(r, Expr::Const(1)))],
+        ));
+    }
+    body.push(b.write_port("out", Expr::Var(vars[rng.gen_range(0usize..vars.len())])));
+    body.push(b.wait());
+    let l = b.do_while(
+        "main",
+        body,
+        Expr::cmp(CmpKind::Ne, b.read_port("p0"), Expr::Const(0)),
+    );
+    b.infinite_loop(vec![l]);
+    b.build()
+}
+
+#[test]
+fn fifty_random_programs_are_equivalent_and_verify() {
+    let lib = TechLibrary::artisan_90nm_typical();
+    let clock = ClockConstraint::from_period_ps(4200.0);
+    let mut scheduled = 0usize;
+    let mut verified = 0usize;
+    for seed in 0..50u64 {
+        let behavior = random_behavior(seed);
+        let mut cdfg = hls::frontend::elaborate(&behavior).expect("elaborates");
+        let body = prepare_innermost_loop(&mut cdfg).expect("linearizes");
+        let seq = SchedulerConfig::sequential(clock, 1, 24);
+        let pipe = SchedulerConfig::pipelined(clock, 2, 24);
+        let seq_ok = check(&format!("rand{seed}/seq"), &body, &lib, seq);
+        let pipe_ok = check(&format!("rand{seed}/pipe"), &body, &lib, pipe);
+        if seq_ok || pipe_ok {
+            scheduled += 1;
+        }
+        // Differential execution: simulate the scheduled design
+        // cycle-accurately against the interpreter on 100 random vectors.
+        if seq_ok {
+            let result = Synthesizer::new(behavior)
+                .clock_ps(4200.0)
+                .latency_bounds(1, 24)
+                .verify(100)
+                .run()
+                .unwrap_or_else(|e| panic!("rand{seed}: verified synthesis failed: {e}"));
+            let report = result.verification.expect("verification ran");
+            assert_eq!(report.iterations, 100, "rand{seed}");
+            verified += 1;
+        }
+    }
+    assert!(
+        scheduled >= 40,
+        "most random programs must schedule, got {scheduled}/50"
+    );
+    assert!(
+        verified >= 35,
+        "most random programs must verify, got {verified}/50"
+    );
+}

@@ -1,0 +1,132 @@
+//! Input-mux derivation: for every port of every shared functional unit,
+//! the set of distinct sources the FSM steers onto it.
+
+use crate::fu::BoundFu;
+use hls_ir::{LinearBody, Signal};
+use hls_tech::ResourceInstanceId;
+
+/// The operand multiplexer of one input port of a shared functional unit.
+#[derive(Clone, Debug)]
+pub struct InputMux {
+    /// The unit.
+    pub fu: ResourceInstanceId,
+    /// Input-port position (0-based; for mux-class units port 0 is the
+    /// select).
+    pub port: usize,
+    /// Data width of the port (widest steered source).
+    pub width: u16,
+    /// The distinct signals steered onto the port, in steering-priority
+    /// order. Two operations whose port-`port` input is the *same* signal
+    /// share one mux input; a physical mux exists only when `len() > 1`.
+    ///
+    /// Sources are distinct **structural** signals; the RTL emitter, which
+    /// inlines free operations (`Pass`/`Resize`/`Slice`) into its operand
+    /// expressions, may collapse two structurally distinct sources into one
+    /// printed arm, so its `mux_in` headers are a lower bound on this count.
+    pub sources: Vec<Signal>,
+}
+
+impl InputMux {
+    /// Whether a physical multiplexer is needed.
+    pub fn is_real(&self) -> bool {
+        self.sources.len() > 1
+    }
+}
+
+/// Derives the per-port input muxes of every functional unit. Ports beyond
+/// an operation's input count contribute nothing (e.g. a negate sharing an
+/// adder drives only the first port).
+pub(crate) fn derive_muxes(body: &LinearBody, fus: &[BoundFu]) -> Vec<InputMux> {
+    let mut muxes = Vec::new();
+    for fu in fus {
+        if fu.ops.is_empty() {
+            continue;
+        }
+        let ports = fu
+            .ops
+            .iter()
+            .map(|s| body.dfg.op(s.op).inputs.len())
+            .max()
+            .unwrap_or(0);
+        for port in 0..ports {
+            let mut sources: Vec<Signal> = Vec::new();
+            let mut width = 0u16;
+            for s in &fu.ops {
+                let Some(sig) = body.dfg.op(s.op).inputs.get(port) else {
+                    continue;
+                };
+                width = width.max(sig.width);
+                if !sources.contains(sig) {
+                    sources.push(*sig);
+                }
+            }
+            muxes.push(InputMux {
+                fu: fu.instance,
+                port,
+                width,
+                sources,
+            });
+        }
+    }
+    muxes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fu::FuSlotOp;
+    use hls_ir::{Dfg, OpKind, PortDirection};
+    use hls_tech::Interner;
+    use hls_tech::{ResourceClass, ResourceInstanceId, ResourceType};
+
+    #[test]
+    fn shared_port_collects_distinct_sources_only() {
+        let mut dfg = Dfg::new();
+        let x = dfg.add_port("x", PortDirection::Input, 16);
+        let r = dfg.add_op(OpKind::Read(x), 16, vec![]);
+        // both multiplications read the same port value on port 0; their
+        // second operands differ
+        let m1 = dfg.add_op(
+            OpKind::Mul,
+            16,
+            vec![Signal::op_w(r, 16), Signal::constant(3, 16)],
+        );
+        let m2 = dfg.add_op(
+            OpKind::Mul,
+            16,
+            vec![Signal::op_w(r, 16), Signal::constant(5, 16)],
+        );
+        let body = LinearBody::from_dfg("m", dfg);
+        let mut interner = Interner::new();
+        let ty = ResourceType::binary(ResourceClass::Multiplier, 16, 16, 16);
+        let fu = BoundFu {
+            instance: ResourceInstanceId(0),
+            class: interner.class_id(&ty.class),
+            ty: interner.type_id(&ty),
+            name: "mul1".into(),
+            ops: vec![
+                FuSlotOp {
+                    op: m1,
+                    state: 0,
+                    folded_state: 0,
+                    stage: 0,
+                },
+                FuSlotOp {
+                    op: m2,
+                    state: 1,
+                    folded_state: 1,
+                    stage: 0,
+                },
+            ],
+        };
+        let muxes = derive_muxes(&body, &[fu]);
+        assert_eq!(muxes.len(), 2);
+        // port 0: both read the same signal → no physical mux
+        assert_eq!(muxes[0].sources.len(), 1);
+        assert!(!muxes[0].is_real());
+        // port 1: two distinct constants → a 2-input mux
+        assert_eq!(muxes[1].sources.len(), 2);
+        assert!(muxes[1].is_real());
+        assert_eq!(muxes[1].width, 16);
+    }
+}

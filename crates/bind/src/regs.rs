@@ -1,0 +1,391 @@
+//! Register binding by lifetime analysis: values whose live ranges are
+//! disjoint (as cyclic intervals over the folded schedule period) share one
+//! physical register, allocated with a deterministic left-edge greedy.
+
+use hls_ir::{DenseOpMap, LinearBody, OpId, OpKind};
+use hls_netlist::schedule::ScheduleDesc;
+
+/// Identifier of one bound register within a
+/// [`BoundDesign`](crate::BoundDesign).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId(pub u32);
+
+impl RegId {
+    /// Raw dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for RegId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reg{}", self.0)
+    }
+}
+
+/// One physical register of the bound datapath.
+#[derive(Clone, Debug)]
+pub struct BoundRegister {
+    /// Identifier within the owning design.
+    pub id: RegId,
+    /// Bit width.
+    pub width: u16,
+    /// Pipeline copies: values that must survive more than one initiation
+    /// interval need a chain of this many registers (such registers are
+    /// never time-shared).
+    pub copies: u32,
+    /// The values (producing operations) time-multiplexed onto the
+    /// register, in allocation order; their cyclic live ranges are disjoint.
+    pub values: Vec<OpId>,
+}
+
+impl BoundRegister {
+    /// Whether more than one value shares the register.
+    pub fn is_shared(&self) -> bool {
+        self.values.len() > 1
+    }
+
+    /// Storage bits the register (chain) occupies.
+    pub fn bits(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.copies)
+    }
+}
+
+/// The live range of one registered value.
+#[derive(Clone, Debug)]
+struct LiveValue {
+    op: OpId,
+    width: u16,
+    def_state: u32,
+    /// Cycles the register must hold the value (`last_use - def_state` in
+    /// extended, unfolded time; ≥ 1).
+    len: u32,
+    copies: u32,
+}
+
+/// Computes which values need storage and for how long.
+///
+/// A value needs a register when any consumer samples it after its producing
+/// cycle: a distance-0 consumer in a later control step, or a loop-carried
+/// consumer (`distance > 0`, sampled `distance` iterations later). Predicate
+/// conditions of predicated operations are consumers too — a gated write
+/// reads them in its own step, and the steering mux of a contended shared
+/// slot reads them in the slot's step. Port writes capture into the output
+/// port register itself and free operations are pure wiring, so neither
+/// competes for datapath registers.
+fn live_values(body: &LinearBody, desc: &ScheduleDesc) -> Vec<LiveValue> {
+    let cpi = desc.cycles_per_iteration().max(1);
+    let n = body.dfg.num_ops();
+    let mut last_use: Vec<Option<u32>> = vec![None; n];
+    let mut extend = |producer: OpId, use_state: u32, distance: u32| {
+        let slot = &mut last_use[producer.index()];
+        let at = use_state + distance * cpi;
+        *slot = Some(slot.map_or(at, |prev| prev.max(at)));
+    };
+    for (id, op) in body.dfg.iter_ops() {
+        let Some(cs) = desc.ops.get(&id) else {
+            continue;
+        };
+        for sig in &op.inputs {
+            if let Some(p) = sig.producer() {
+                if sig.distance > 0 || desc.ops.get(&p).is_some_and(|ps| ps.state < cs.state) {
+                    extend(p, cs.state, sig.distance);
+                }
+            }
+        }
+        // Predicate conditions are read wherever the predicate is evaluated:
+        // by a gated side effect in its own step, or by the steering mux of
+        // a contended shared slot. Extend conservatively for *every*
+        // predicated operation — slot contention is a binding-time fact this
+        // lifetime pass deliberately does not depend on.
+        if !op.predicate.is_true() {
+            for cond in op.predicate.condition_ops() {
+                if desc.ops.get(&cond).is_some_and(|ps| ps.state < cs.state) {
+                    extend(cond, cs.state, 0);
+                }
+            }
+        }
+    }
+
+    let mut values = Vec::new();
+    for (id, op) in body.dfg.iter_ops() {
+        if matches!(op.kind, OpKind::Write(_))
+            || (op.kind.is_free() && !matches!(op.kind, OpKind::Pass))
+        {
+            continue;
+        }
+        let Some(s) = desc.ops.get(&id) else { continue };
+        let Some(last) = last_use[id.index()] else {
+            continue;
+        };
+        if last <= s.state {
+            continue;
+        }
+        let len = last - s.state;
+        values.push(LiveValue {
+            op: id,
+            width: op.width,
+            def_state: s.state,
+            len,
+            copies: len.div_ceil(cpi),
+        });
+    }
+    values
+}
+
+/// Allocates physical registers for the live values of a schedule.
+///
+/// Values are considered in left-edge order (definition step, then id).
+/// A value whose lifetime fits within one period occupies the cyclic slots
+/// `(def + 1 ..= def + len) mod cpi` of the folded schedule and may join the
+/// first same-width register whose occupied slots are disjoint. Values that
+/// live a full period or longer (loop-carried, or crossing pipeline stages)
+/// get a dedicated register chain of `ceil(len / cpi)` copies.
+pub(crate) fn bind_registers(
+    body: &LinearBody,
+    desc: &ScheduleDesc,
+) -> (Vec<BoundRegister>, DenseOpMap<Option<RegId>>) {
+    let cpi = desc.cycles_per_iteration().max(1) as usize;
+    let mut values = live_values(body, desc);
+    values.sort_by_key(|v| (v.def_state, v.op));
+
+    let mut registers: Vec<BoundRegister> = Vec::new();
+    // occupancy[r][slot]: register r holds some value during folded cycle
+    // `slot` (shareable registers only)
+    let mut occupancy: Vec<Vec<bool>> = Vec::new();
+    let mut reg_of: DenseOpMap<Option<RegId>> = DenseOpMap::new(body.dfg.num_ops());
+
+    for v in &values {
+        if (v.len as usize) >= cpi {
+            let id = RegId(registers.len() as u32);
+            registers.push(BoundRegister {
+                id,
+                width: v.width,
+                copies: v.copies,
+                values: vec![v.op],
+            });
+            occupancy.push(vec![true; cpi]);
+            reg_of[v.op] = Some(id);
+            continue;
+        }
+        let slots: Vec<usize> = (1..=v.len as usize)
+            .map(|j| (v.def_state as usize + j) % cpi)
+            .collect();
+        let found = registers.iter().position(|r| {
+            r.width == v.width
+                && r.copies == 1
+                && slots.iter().all(|&s| !occupancy[r.id.index()][s])
+        });
+        let id = match found {
+            Some(i) => RegId(i as u32),
+            None => {
+                let id = RegId(registers.len() as u32);
+                registers.push(BoundRegister {
+                    id,
+                    width: v.width,
+                    copies: 1,
+                    values: Vec::new(),
+                });
+                occupancy.push(vec![false; cpi]);
+                id
+            }
+        };
+        registers[id.index()].values.push(v.op);
+        for &s in &slots {
+            occupancy[id.index()][s] = true;
+        }
+        reg_of[v.op] = Some(id);
+    }
+    (registers, reg_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{Dfg, PortDirection, Signal};
+    use hls_netlist::schedule::ScheduledOp;
+    use hls_tech::ResourceSet;
+    use std::collections::BTreeMap;
+
+    /// Two independent 2-state producer/consumer chains over 4 states: the
+    /// two produced values have disjoint live ranges and must share one
+    /// register.
+    fn chain_body() -> (LinearBody, ScheduleDesc) {
+        let mut dfg = Dfg::new();
+        let x = dfg.add_port("x", PortDirection::Input, 8);
+        let y = dfg.add_port("y", PortDirection::Output, 8);
+        let r = dfg.add_op(OpKind::Read(x), 8, vec![]);
+        let a = dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::op_w(r, 8), Signal::constant(1, 8)],
+        );
+        let b = dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::op_w(a, 8), Signal::constant(2, 8)],
+        );
+        let c = dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::op_w(b, 8), Signal::constant(3, 8)],
+        );
+        let w = dfg.add_op(OpKind::Write(y), 8, vec![Signal::op_w(c, 8)]);
+        let body = LinearBody::from_dfg("chain", dfg);
+        let mut ops = BTreeMap::new();
+        for (id, state) in [(r, 0), (a, 0), (b, 1), (c, 2), (w, 3)] {
+            ops.insert(
+                id,
+                ScheduledOp {
+                    op: id,
+                    state,
+                    resource: None,
+                },
+            );
+        }
+        (
+            body,
+            ScheduleDesc {
+                num_states: 4,
+                ii: None,
+                ops,
+                resources: ResourceSet::new(),
+            },
+        )
+    }
+
+    #[test]
+    fn disjoint_lifetimes_share_a_register() {
+        let (body, desc) = chain_body();
+        let (regs, reg_of) = bind_registers(&body, &desc);
+        // a lives [1], b lives [2], c lives [3]: all disjoint → one register
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].values.len(), 3);
+        assert!(regs[0].is_shared());
+        assert_eq!(regs[0].bits(), 8);
+        let a = OpId::from_raw(1);
+        let c = OpId::from_raw(3);
+        assert_eq!(reg_of[a], Some(RegId(0)));
+        assert_eq!(reg_of[a], reg_of[c]);
+    }
+
+    #[test]
+    fn overlapping_lifetimes_get_distinct_registers() {
+        // diamond: a (defined s0) is read by both b (s1) and c (s2), so a
+        // lives [1, 2]; b (defined s1) is read by c (s2), so b lives [2] —
+        // a and b are simultaneously live in step 2 and must not share
+        let mut dfg = Dfg::new();
+        let x = dfg.add_port("x", PortDirection::Input, 8);
+        let y = dfg.add_port("y", PortDirection::Output, 8);
+        let r = dfg.add_op(OpKind::Read(x), 8, vec![]);
+        let a = dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::op_w(r, 8), Signal::constant(1, 8)],
+        );
+        let b = dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::op_w(a, 8), Signal::constant(2, 8)],
+        );
+        let c = dfg.add_op(OpKind::Add, 8, vec![Signal::op_w(a, 8), Signal::op_w(b, 8)]);
+        let w = dfg.add_op(OpKind::Write(y), 8, vec![Signal::op_w(c, 8)]);
+        let body = LinearBody::from_dfg("diamond", dfg);
+        let mut ops = BTreeMap::new();
+        for (id, state) in [(r, 0), (a, 0), (b, 1), (c, 2), (w, 3)] {
+            ops.insert(
+                id,
+                ScheduledOp {
+                    op: id,
+                    state,
+                    resource: None,
+                },
+            );
+        }
+        let desc = ScheduleDesc {
+            num_states: 4,
+            ii: None,
+            ops,
+            resources: ResourceSet::new(),
+        };
+        let (regs, reg_of) = bind_registers(&body, &desc);
+        assert_ne!(reg_of[a], reg_of[b], "{regs:?}");
+        // c (lives [3]) can reuse one of them
+        assert_eq!(regs.len(), 2, "{regs:?}");
+    }
+
+    #[test]
+    fn loop_carried_value_gets_a_dedicated_full_period_register() {
+        let mut dfg = Dfg::new();
+        let y = dfg.add_port("y", PortDirection::Output, 8);
+        let acc = dfg.add_op(OpKind::Add, 8, vec![Signal::constant(1, 8)]);
+        dfg.op_mut(acc).inputs = vec![Signal::carried(acc, 8, 1), Signal::constant(1, 8)];
+        let w = dfg.add_op(OpKind::Write(y), 8, vec![Signal::op_w(acc, 8)]);
+        let body = LinearBody::from_dfg("acc", dfg);
+        let mut ops = BTreeMap::new();
+        for (id, state) in [(acc, 0), (w, 1)] {
+            ops.insert(
+                id,
+                ScheduledOp {
+                    op: id,
+                    state,
+                    resource: None,
+                },
+            );
+        }
+        let desc = ScheduleDesc {
+            num_states: 2,
+            ii: None,
+            ops,
+            resources: ResourceSet::new(),
+        };
+        let (regs, reg_of) = bind_registers(&body, &desc);
+        assert_eq!(regs.len(), 1);
+        assert!(!regs[0].is_shared());
+        assert_eq!(regs[0].copies, 1, "one-iteration distance at cpi=2");
+        assert_eq!(reg_of[acc], Some(RegId(0)));
+    }
+
+    #[test]
+    fn widths_do_not_mix_in_one_register() {
+        let mut dfg = Dfg::new();
+        let x = dfg.add_port("x", PortDirection::Input, 8);
+        let y = dfg.add_port("y", PortDirection::Output, 16);
+        let r = dfg.add_op(OpKind::Read(x), 8, vec![]);
+        let a = dfg.add_op(
+            OpKind::Add,
+            8,
+            vec![Signal::op_w(r, 8), Signal::constant(1, 8)],
+        );
+        let b = dfg.add_op(
+            OpKind::Mul,
+            16,
+            vec![Signal::op_w(a, 8), Signal::constant(2, 8)],
+        );
+        let w = dfg.add_op(OpKind::Write(y), 16, vec![Signal::op_w(b, 16)]);
+        let body = LinearBody::from_dfg("mixed", dfg);
+        let mut ops = BTreeMap::new();
+        for (id, state) in [(r, 0), (a, 0), (b, 1), (w, 2)] {
+            ops.insert(
+                id,
+                ScheduledOp {
+                    op: id,
+                    state,
+                    resource: None,
+                },
+            );
+        }
+        let desc = ScheduleDesc {
+            num_states: 3,
+            ii: None,
+            ops,
+            resources: ResourceSet::new(),
+        };
+        let (regs, _) = bind_registers(&body, &desc);
+        // a (8 bits, live [1]) and b (16 bits, live [2]) are disjoint but
+        // different widths → two registers
+        assert_eq!(regs.len(), 2, "{regs:?}");
+        let widths: Vec<u16> = regs.iter().map(|r| r.width).collect();
+        assert!(widths.contains(&8) && widths.contains(&16));
+    }
+}

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hls_bind as bind;
 pub use hls_explore as explore;
 pub use hls_frontend as frontend;
 pub use hls_frontend::designs;
@@ -60,8 +61,12 @@ pub enum SynthesisError {
     Scheduling(hls_sched::SchedError),
     /// Pipeline folding failed.
     Folding(hls_pipeline::FoldError),
+    /// Binding failed: the schedule cannot be realized as steered shared
+    /// hardware.
+    Binding(hls_bind::BindError),
     /// Differential verification failed: the cycle-accurate simulation of
-    /// the schedule disagrees with the reference interpreter.
+    /// the schedule (per-op or bound) disagrees with the reference
+    /// interpreter.
     Verification(hls_sim::SimError),
 }
 
@@ -72,6 +77,7 @@ impl fmt::Display for SynthesisError {
             SynthesisError::Optimizer(e) => write!(f, "optimizer: {e}"),
             SynthesisError::Scheduling(e) => write!(f, "scheduler: {e}"),
             SynthesisError::Folding(e) => write!(f, "pipeline folding: {e}"),
+            SynthesisError::Binding(e) => write!(f, "binder: {e}"),
             SynthesisError::Verification(e) => write!(f, "differential verification: {e}"),
         }
     }
@@ -104,6 +110,11 @@ impl From<hls_sim::SimError> for SynthesisError {
         SynthesisError::Verification(e)
     }
 }
+impl From<hls_bind::BindError> for SynthesisError {
+    fn from(e: hls_bind::BindError) -> Self {
+        SynthesisError::Binding(e)
+    }
+}
 
 /// The result of one synthesis run.
 #[derive(Debug)]
@@ -114,6 +125,10 @@ pub struct SynthesisResult {
     pub schedule: Schedule,
     /// The folded pipeline, when a pipelining request was given.
     pub pipeline: Option<FoldedPipeline>,
+    /// The bound design: shared functional units, registers and input muxes
+    /// over interned resource ids. The RTL below is emitted from exactly
+    /// this sharing structure.
+    pub binding: hls_bind::BoundDesign,
     /// Estimated total area in library units.
     pub area: f64,
     /// Estimated total power in microwatts.
@@ -130,6 +145,13 @@ impl SynthesisResult {
     /// Paper-style state × resource table (like Table 2).
     pub fn schedule_table(&self) -> String {
         self.schedule.table(&self.body)
+    }
+
+    /// Counted binding statistics (FU, register and mux-input counts) — the
+    /// real area proxies of the implementation, as opposed to the estimated
+    /// `area`.
+    pub fn binding_stats(&self) -> hls_bind::BindStats {
+        self.binding.stats
     }
 }
 
@@ -268,23 +290,40 @@ impl Synthesizer {
             Some(_) => Some(fold_schedule(&body, &schedule)?),
             None => None,
         };
+        let binding = hls_bind::bind(&body, &schedule.desc)?;
         let verification = match self.verify_vectors {
-            Some(vectors) => Some(hls_sim::differential::random_check(
-                &body,
-                &schedule.desc,
-                vectors,
-                0x5EED,
-            )?),
+            Some(vectors) => {
+                let report =
+                    hls_sim::differential::random_check(&body, &schedule.desc, vectors, 0x5EED)?;
+                // the bound netlist — shared units with steered operand
+                // muxes — must agree with the reference too
+                hls_sim::differential::random_check_bound(
+                    &body,
+                    &schedule.desc,
+                    &binding,
+                    vectors,
+                    0x5EED,
+                )?;
+                Some(report)
+            }
             None => None,
         };
         let slack_fraction = (schedule.min_slack_ps / clock.period_ps()).clamp(0.0, 0.9);
         let dp =
             Datapath::from_schedule(&body, &schedule.desc, &self.library, clock, slack_fraction);
-        let rtl = emit_rtl(&body, &schedule.desc, RtlOptions { annotate: true });
+        let rtl = emit_rtl(
+            &body,
+            &schedule.desc,
+            RtlOptions {
+                annotate: true,
+                ..RtlOptions::default()
+            },
+        );
         Ok(SynthesisResult {
             body,
             schedule,
             pipeline,
+            binding,
             area: dp.total_area(),
             power_uw: dp.total_power_uw(),
             rtl,
@@ -400,6 +439,31 @@ mod tests {
             .run()
             .expect("synthesizable");
         assert!(unverified.verification.is_none());
+    }
+
+    #[test]
+    fn synthesis_reports_binding_statistics() {
+        let result = Synthesizer::new(designs::paper_example1())
+            .clock_ps(1600.0)
+            .latency_bounds(1, 3)
+            .verify(50)
+            .run()
+            .expect("synthesizable and bindable");
+        let stats = result.binding_stats();
+        assert!(stats.fu_count >= 3, "{stats:?}");
+        assert!(
+            stats.fu_count <= result.schedule.desc.resources.len(),
+            "binding never invents hardware: {stats:?}"
+        );
+        assert!(
+            stats.shared_fu_count >= 1,
+            "one multiplier runs three multiplications: {stats:?}"
+        );
+        assert!(stats.register_count > 0, "{stats:?}");
+        assert!(stats.mux_inputs >= 3, "{stats:?}");
+        // the emitted RTL reflects exactly this sharing
+        assert!(result.rtl.contains("// fu mul1"), "{}", result.rtl);
+        assert!(result.binding.summary().contains("FUs"));
     }
 
     #[test]

@@ -36,6 +36,15 @@ fn schedule_and_estimate(
     Some((schedule, dp))
 }
 
+/// Binds a schedule and returns the counted hardware statistics; every
+/// schedule the drivers emit must be realizable as steered shared hardware,
+/// so a binder rejection here is a bug worth failing loudly on.
+fn bind_stats(body: &LinearBody, schedule: &Schedule) -> hls_bind::BindStats {
+    hls_bind::bind(body, &schedule.desc)
+        .expect("emitted schedule must be bindable")
+        .stats
+}
+
 // ---------------------------------------------------------------------------
 // Table 1
 // ---------------------------------------------------------------------------
@@ -215,6 +224,13 @@ pub struct Figure9Point {
     pub passes: u32,
     /// Design class.
     pub class: String,
+    /// Bound functional units (binder statistic; binding runs outside the
+    /// timed scheduling window).
+    pub fus: usize,
+    /// Bound datapath registers.
+    pub regs: usize,
+    /// Total data inputs over the binding's physical operand muxes.
+    pub mux_inputs: usize,
 }
 
 /// Figure 9: scheduling time vs design size over a population of synthetic
@@ -246,12 +262,18 @@ pub fn figure9_scheduling_time(sizes: &[usize]) -> Vec<Figure9Point> {
             Scheduler::new(&body, &lib, fallback).run()
         });
         let seconds = start.elapsed().as_secs_f64();
-        result.ok().map(|schedule| Figure9Point {
-            ops: body.dfg.num_ops(),
-            seconds,
-            latency: schedule.latency,
-            passes: schedule.passes,
-            class: format!("{class:?}"),
+        result.ok().map(|schedule| {
+            let stats = bind_stats(&body, &schedule);
+            Figure9Point {
+                ops: body.dfg.num_ops(),
+                seconds,
+                latency: schedule.latency,
+                passes: schedule.passes,
+                class: format!("{class:?}"),
+                fus: stats.fu_count,
+                regs: stats.register_count,
+                mux_inputs: stats.mux_inputs,
+            }
         })
     });
     points.into_iter().flatten().collect()
@@ -284,13 +306,13 @@ impl Figure9Sweep {
     pub fn table(&self) -> String {
         let mut out = String::from("FIGURE 9 — scheduling time vs design size:\n");
         out.push_str(&format!(
-            "  {:>6} {:>10} {:>8} {:>7} {:>12}\n",
-            "ops", "seconds", "latency", "passes", "class"
+            "  {:>6} {:>10} {:>8} {:>7} {:>12} {:>6} {:>6} {:>8}\n",
+            "ops", "seconds", "latency", "passes", "class", "fus", "regs", "mux_in"
         ));
         for p in &self.points {
             out.push_str(&format!(
-                "  {:>6} {:>10.3} {:>8} {:>7} {:>12}\n",
-                p.ops, p.seconds, p.latency, p.passes, p.class
+                "  {:>6} {:>10.3} {:>8} {:>7} {:>12} {:>6} {:>6} {:>8}\n",
+                p.ops, p.seconds, p.latency, p.passes, p.class, p.fus, p.regs, p.mux_inputs
             ));
         }
         out.push_str(&format!(
@@ -324,18 +346,23 @@ pub fn figure9_sweep(sizes: &[usize]) -> Figure9Sweep {
 }
 
 /// Serializes Figure 9 points as the machine-readable perf-trajectory record
-/// `BENCH_sched.json` (one `{ops, seconds, latency, passes}` object per
-/// size, plus the end-to-end wall-clock of the whole driver).
+/// `BENCH_sched.json` (one `{ops, seconds, latency, passes, fus, regs,
+/// mux_inputs}` object per size, plus the end-to-end wall-clock of the whole
+/// driver). The binder statistics record the counted hardware each point's
+/// schedule costs, so the trajectory tracks area proxies next to time.
 pub fn figure9_json(points: &[Figure9Point], total_seconds: f64) -> String {
     let mut out = String::from("{\n  \"bench\": \"figure9_scheduling_time\",\n  \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"ops\": {}, \"seconds\": {:.6}, \"latency\": {}, \"passes\": {}, \"class\": \"{}\"}}{}\n",
+            "    {{\"ops\": {}, \"seconds\": {:.6}, \"latency\": {}, \"passes\": {}, \"class\": \"{}\", \"fus\": {}, \"regs\": {}, \"mux_inputs\": {}}}{}\n",
             p.ops,
             p.seconds,
             p.latency,
             p.passes,
             p.class,
+            p.fus,
+            p.regs,
+            p.mux_inputs,
             if i + 1 < points.len() { "," } else { "" }
         ));
     }
@@ -416,6 +443,7 @@ pub fn idct_exploration_with(
             if let Some(options) = verify {
                 crate::verify::verify_schedule(&body, &schedule.desc, options)?;
             }
+            let stats = bind_stats(&body, &schedule);
             let ii = schedule.cycles_per_iteration();
             Ok(Some(ExplorationPoint {
                 label: format!("{family} @ {:.1} ns", period / 1000.0),
@@ -426,6 +454,9 @@ pub fn idct_exploration_with(
                 clock_ps: period,
                 latency_cycles: schedule.latency,
                 ii_cycles: ii,
+                fu_count: stats.fu_count,
+                register_count: stats.register_count,
+                mux_inputs: stats.mux_inputs,
             }))
         });
     let mut points = Vec::new();
@@ -540,6 +571,30 @@ mod tests {
         }
         let csv = render_points(&points);
         assert!(csv.lines().count() == points.len() + 1);
+    }
+
+    #[test]
+    fn exploration_points_carry_binding_statistics() {
+        let points = idct_exploration(&[2600.0]);
+        assert!(!points.is_empty());
+        for p in &points {
+            assert!(p.fu_count > 0, "{p:?}");
+            assert!(p.register_count > 0, "{p:?}");
+        }
+        // tighter initiation intervals buy throughput with more functional
+        // units: the fastest point must not be the cheapest one
+        let fastest = points
+            .iter()
+            .min_by(|a, b| a.delay_ns.partial_cmp(&b.delay_ns).unwrap())
+            .unwrap();
+        let slowest = points
+            .iter()
+            .max_by(|a, b| a.delay_ns.partial_cmp(&b.delay_ns).unwrap())
+            .unwrap();
+        assert!(
+            fastest.fu_count >= slowest.fu_count,
+            "fastest {fastest:?} vs slowest {slowest:?}"
+        );
     }
 
     #[test]

@@ -21,6 +21,12 @@ pub struct ExplorationPoint {
     pub latency_cycles: u32,
     /// Initiation interval in cycles (equals the latency when sequential).
     pub ii_cycles: u32,
+    /// Bound functional units (counted from the binding, not estimated).
+    pub fu_count: usize,
+    /// Bound datapath registers.
+    pub register_count: usize,
+    /// Total data inputs over the binding's physical operand muxes.
+    pub mux_inputs: usize,
 }
 
 /// Returns the subset of points that are Pareto-optimal in (delay, area):
@@ -59,6 +65,9 @@ mod tests {
             clock_ps: 1000.0,
             latency_cycles: 1,
             ii_cycles: 1,
+            fu_count: 1,
+            register_count: 1,
+            mux_inputs: 0,
         }
     }
 

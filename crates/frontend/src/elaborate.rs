@@ -19,7 +19,7 @@ use hls_ir::{
     Cdfg, CfgEdgeId, CfgNodeId, CfgNodeKind, CmpKind, LoopId, LoopInfo, OpId, OpKind,
     PortDirection, PortId, Signal,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Elaborates a behaviour into a CDFG.
 ///
@@ -41,7 +41,10 @@ pub fn elaborate(behavior: &Behavior) -> Result<Cdfg, FrontendError> {
 struct Elaborator<'a> {
     behavior: &'a Behavior,
     cdfg: Cdfg,
-    ports: HashMap<String, (PortId, PortDirection, u16)>,
+    /// Port table keyed by name. Ordered (`BTreeMap`) so that any iteration
+    /// — today only lookups, but the map is a public-ish surface through
+    /// elaboration order — is deterministic across runs.
+    ports: BTreeMap<String, (PortId, PortDirection, u16)>,
     /// Current value of each variable.
     env: Vec<Signal>,
     /// Operations created since the last control-step boundary, awaiting
@@ -54,7 +57,7 @@ struct Elaborator<'a> {
 impl<'a> Elaborator<'a> {
     fn new(behavior: &'a Behavior) -> Result<Self, FrontendError> {
         let mut cdfg = Cdfg::new(behavior.name.clone());
-        let mut ports = HashMap::new();
+        let mut ports = BTreeMap::new();
         for decl in &behavior.ports {
             let id = cdfg
                 .dfg
@@ -614,6 +617,24 @@ mod tests {
             .collect();
         assert_eq!(anchors.len(), 1, "one anchor for the single loop");
         assert!(anchors[0].1.display_name().ends_with("first_iter"));
+    }
+
+    #[test]
+    fn elaboration_is_deterministic_across_runs() {
+        let a = elaborate(&accumulator_behavior()).expect("elab a");
+        let b = elaborate(&accumulator_behavior()).expect("elab b");
+        assert_eq!(a.dfg, b.dfg, "op tables must match exactly");
+        let ports_a: Vec<_> = a
+            .dfg
+            .iter_ports()
+            .map(|(id, p)| (id, p.name.clone()))
+            .collect();
+        let ports_b: Vec<_> = b
+            .dfg
+            .iter_ports()
+            .map(|(id, p)| (id, p.name.clone()))
+            .collect();
+        assert_eq!(ports_a, ports_b);
     }
 
     #[test]

@@ -152,7 +152,14 @@ pub fn fold_schedule(body: &LinearBody, schedule: &Schedule) -> Result<FoldedPip
             for j in (i + 1)..ops.len() {
                 let pa = &body.dfg.op(ops[i]).predicate;
                 let pb = &body.dfg.op(ops[j]).predicate;
-                if !pa.mutually_exclusive(pb) {
+                // sharing across equivalent edges is only sound within one
+                // control step: predicates of different stages guard
+                // different iterations, so mutual exclusion alone does not
+                // make the sharing realizable (mirrors the scheduler's busy
+                // check and the binder's slot validation)
+                let sa = schedule.desc.ops[&ops[i]].state;
+                let sb = schedule.desc.ops[&ops[j]].state;
+                if sa != sb || !pa.mutually_exclusive(pb) {
                     return Err(FoldError::SharedOnEquivalentEdges {
                         a: ops[i],
                         b: ops[j],

@@ -26,9 +26,11 @@ pub struct ModuloResult {
     pub time_of: HashMap<OpId, u32>,
     /// Number of iterations of the placement loop that were needed.
     pub attempts: u32,
-    /// Per resource class, the number of instances implied by the modulo
-    /// reservation table occupancy.
-    pub resource_counts: HashMap<String, usize>,
+    /// The interner giving meaning to the class ids of `resource_counts`.
+    pub interner: Interner,
+    /// Instances implied by the modulo reservation table occupancy, indexed
+    /// by [`ResourceClassId`] (zero for classes the design never occupied).
+    pub resource_counts: Vec<usize>,
 }
 
 impl ModuloResult {
@@ -40,6 +42,22 @@ impl ModuloResult {
             .max()
             .map(|t| t + 1)
             .unwrap_or(0)
+    }
+
+    /// Implied instance count of a resource class.
+    pub fn count_of(&self, class: &ResourceClass) -> usize {
+        self.interner
+            .lookup_class(class)
+            .map(|id| self.resource_counts[id.index()])
+            .unwrap_or(0)
+    }
+
+    /// The non-zero per-class counts, in deterministic (interning) order.
+    pub fn counts(&self) -> impl Iterator<Item = (ResourceClassId, &ResourceClass, usize)> {
+        self.interner
+            .iter_classes()
+            .map(|(id, c)| (id, c, self.resource_counts[id.index()]))
+            .filter(|&(_, _, n)| n > 0)
     }
 }
 
@@ -162,17 +180,14 @@ pub fn modulo_schedule(
             }
         }
 
-        let mut resource_counts: HashMap<String, usize> = HashMap::new();
-        for c in 0..num_classes {
-            let used = (0..ii as usize)
-                .map(|slot| mrt[c * ii as usize + slot])
-                .max()
-                .unwrap_or(0);
-            if used > 0 {
-                let mnemonic = interner.class(ResourceClassId(c as u32)).mnemonic();
-                resource_counts.insert(mnemonic, used);
-            }
-        }
+        let resource_counts: Vec<usize> = (0..num_classes)
+            .map(|c| {
+                (0..ii as usize)
+                    .map(|slot| mrt[c * ii as usize + slot])
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect();
         return Some(ModuloResult {
             ii,
             time_of: time_of
@@ -180,6 +195,7 @@ pub fn modulo_schedule(
                 .filter_map(|(id, t)| t.map(|t| (id, t)))
                 .collect(),
             attempts,
+            interner,
             resource_counts,
         });
     }
@@ -227,6 +243,21 @@ mod tests {
         })
         .expect("feasible");
         assert!(scarce.ii >= generous.ii);
+    }
+
+    #[test]
+    fn resource_counts_are_keyed_by_interned_class_ids() {
+        let body = example1();
+        let lib = TechLibrary::artisan_90nm_typical();
+        let result = modulo_schedule(&body, &lib, 1600.0, 2, 8, |_| 2).expect("feasible");
+        assert!(result.count_of(&ResourceClass::Multiplier) >= 1);
+        assert_eq!(result.count_of(&ResourceClass::IpBlock("nope".into())), 0);
+        // every reported id resolves through the owning interner
+        for (id, class, n) in result.counts() {
+            assert_eq!(result.interner.lookup_class(class), Some(id));
+            assert!(n > 0);
+            assert_eq!(result.resource_counts[id.index()], n);
+        }
     }
 
     #[test]

@@ -871,12 +871,17 @@ impl<'a> Engine<'a> {
             if self.forbidden[i].contains(&res_id) {
                 continue;
             }
-            // busy check in this folded state (mutually exclusive predicated
-            // ops may still share)
+            // busy check in this folded state: mutually exclusive predicated
+            // ops may share, but only within the *same* control step — in a
+            // folded pipeline equivalent states belong to different stages,
+            // whose predicates guard different iterations, so cross-stage
+            // "mutual exclusion" would not hold in hardware (the binder
+            // rejects such slots as unsteerable)
             let slot = res_id.index() * fold_states as usize + self.fold(state, ii) as usize;
             let conflict = self.busy[slot].iter().any(|other| {
-                !self.statics.pred_lits[other.index()]
-                    .mutually_exclusive(&self.statics.pred_lits[i])
+                !self.frame.placed[other.index()].is_some_and(|p| p.state == state)
+                    || !self.statics.pred_lits[other.index()]
+                        .mutually_exclusive(&self.statics.pred_lits[i])
             });
             if conflict {
                 reasons.push(Restraint::ResourceContention {

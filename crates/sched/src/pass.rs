@@ -13,7 +13,9 @@ use hls_ir::analysis::{alap_levels, asap_levels, Scc};
 use hls_ir::{LinearBody, OpId, OpKind};
 use hls_netlist::schedule::{ScheduleDesc, ScheduledOp};
 use hls_netlist::timing::{ChainTiming, CombGraph};
-use hls_tech::{ResourceClass, ResourceInstanceId, ResourceSet, ResourceType, TechLibrary};
+use hls_tech::{
+    Interner, ResourceClass, ResourceInstanceId, ResourceSet, ResourceType, TechLibrary,
+};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Everything a pass needs, borrowed from the multi-pass driver.
@@ -117,26 +119,34 @@ pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
         extra_preds.entry(b).or_default().push(a);
     }
 
-    // Expected sharing factor per resource type (drives input-mux penalties).
-    let mut ops_per_type: HashMap<String, usize> = HashMap::new();
+    // Expected sharing factor per resource class (drives input-mux
+    // penalties), over interned class ids: a zero count means the class was
+    // only interned by the other table and reads as "absent" (factor
+    // contribution 1), exactly like the historical string-keyed maps.
+    let mut interner = Interner::new();
+    let mut ops_per_class: Vec<usize> = Vec::new();
     for (_, op) in body.dfg.iter_ops() {
         if let Some(ty) = ResourceType::for_op(op) {
             if !matches!(ty.class, ResourceClass::IoPort) {
-                *ops_per_type.entry(ty.class.mnemonic()).or_insert(0) += 1;
+                let cid = interner.class_id(&ty.class);
+                if cid.index() >= ops_per_class.len() {
+                    ops_per_class.resize(cid.index() + 1, 0);
+                }
+                ops_per_class[cid.index()] += 1;
             }
         }
     }
-    let mut insts_per_type: HashMap<String, usize> = HashMap::new();
-    for inst in input.resources.iter() {
-        *insts_per_type.entry(inst.ty.class.mnemonic()).or_insert(0) += 1;
-    }
+    let insts_per_class: Vec<usize> = input.resources.class_counts(&mut interner);
     let share_factor = |class: &ResourceClass| -> usize {
-        let ops = ops_per_type.get(&class.mnemonic()).copied().unwrap_or(1);
-        let insts = insts_per_type
-            .get(&class.mnemonic())
-            .copied()
-            .unwrap_or(1)
-            .max(1);
+        let id = interner.lookup_class(class);
+        let ops = id
+            .and_then(|i| ops_per_class.get(i.index()).copied())
+            .filter(|&n| n > 0)
+            .unwrap_or(1);
+        let insts = id
+            .and_then(|i| insts_per_class.get(i.index()).copied())
+            .filter(|&n| n > 0)
+            .unwrap_or(1);
         ops.div_ceil(insts)
     };
 
@@ -316,16 +326,19 @@ pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
                         continue;
                     }
                     let inst = input.resources.instance(res_id);
-                    // busy check in this folded state (mutually exclusive
-                    // predicated ops may still share)
+                    // busy check in this folded state: mutually exclusive
+                    // predicated ops may share, but only within the *same*
+                    // control step — equivalent states of a folded pipeline
+                    // guard different iterations (mirrors the engine)
                     let slot = (res_id, fold(state));
                     let conflict = busy.get(&slot).map(|ops| {
                         ops.iter().any(|other| {
-                            !body
-                                .dfg
-                                .op(*other)
-                                .predicate
-                                .mutually_exclusive(&op.predicate)
+                            !placed.get(other).is_some_and(|p| p.state == state)
+                                || !body
+                                    .dfg
+                                    .op(*other)
+                                    .predicate
+                                    .mutually_exclusive(&op.predicate)
                         })
                     });
                     if conflict == Some(true) {

@@ -1,0 +1,611 @@
+//! Cycle-accurate simulation of a **bound** design: shared functional units
+//! compute one value per clock cycle.
+//!
+//! [`BoundSim`] replays the same schedule as
+//! [`ScheduleSim`](crate::cycle::ScheduleSim), but where the per-op
+//! simulator gives every operation its own operator, this engine models the
+//! datapath the binder (`hls-bind`) describes and the RTL emitter prints:
+//! each functional unit evaluates **once** per cycle, over the operands of
+//! the operation its input muxes steer onto it, and *every* operation bound
+//! to the unit in that cycle captures that single output. An operation that
+//! loses the steering (its predicate is false) captures the winner's value —
+//! exactly like the hardware — and differential verification then proves
+//! that downstream predicate muxes discard it, i.e. that the sharing is
+//! functionally correct *by execution*.
+//!
+//! Steering follows the contract shared with `hls_bind::BoundFu` and the
+//! RTL's operand-mux priority chains: candidates of a contended slot are
+//! tried in ascending op-id order, the first one whose predicate holds owns
+//! the unit, and when none holds the slot's **last** candidate's operands
+//! leak through — the RTL gives that candidate a state-only (predicate-free)
+//! arm, so both engines capture the same value even then; harmless either
+//! way, because only false-predicate operations observe it.
+//!
+//! Within one cycle, combinational chains may couple operations of
+//! *different* in-flight iterations through a shared unit; the engine
+//! executes each cycle as a worklist until every firing settles, and reports
+//! a [`SimError::Steering`] deadlock if a combinational wait cycle through a
+//! shared operator remains — a structure the scheduler's
+//! combinational-cycle avoidance is meant to exclude.
+
+use crate::cycle::{CycleRecord, CycleTrace, TimedWrite};
+use crate::error::SimError;
+use crate::stimulus::Stimulus;
+use hls_bind::BoundDesign;
+use hls_ir::eval::{eval_op, BitVal};
+use hls_ir::{LinearBody, OpId, OpKind, Signal};
+use hls_netlist::schedule::ScheduleDesc;
+use std::collections::{BTreeMap, HashMap};
+
+/// Result of one settle attempt: the value is ready, or the firing must
+/// wait for another firing of the same cycle.
+enum Attempt<T> {
+    Ready(T),
+    Wait,
+}
+
+use Attempt::{Ready, Wait};
+
+/// Cycle-accurate simulator of a bound design.
+pub struct BoundSim<'a> {
+    body: &'a LinearBody,
+    desc: &'a ScheduleDesc,
+    bound: &'a BoundDesign,
+    /// Ops per control step, in topological order.
+    ops_by_state: Vec<Vec<OpId>>,
+}
+
+impl<'a> BoundSim<'a> {
+    /// Prepares a simulator for `body` under schedule `desc` and binding
+    /// `bound` (produced by `hls_bind::bind` from the same schedule).
+    ///
+    /// # Errors
+    /// [`SimError::InvalidBody`] if the body fails validation.
+    pub fn new(
+        body: &'a LinearBody,
+        desc: &'a ScheduleDesc,
+        bound: &'a BoundDesign,
+    ) -> Result<Self, SimError> {
+        body.validate()?;
+        let order = body.dfg.topo_order()?;
+        let pos: HashMap<OpId, usize> = order.iter().enumerate().map(|(i, &o)| (o, i)).collect();
+        let mut ops_by_state: Vec<Vec<OpId>> = vec![Vec::new(); desc.num_states.max(1) as usize];
+        for (id, s) in &desc.ops {
+            if let Some(slot) = ops_by_state.get_mut(s.state as usize) {
+                slot.push(*id);
+            }
+        }
+        for slot in &mut ops_by_state {
+            slot.sort_by_key(|id| pos.get(id).copied().unwrap_or(usize::MAX));
+        }
+        Ok(BoundSim {
+            body,
+            desc,
+            bound,
+            ops_by_state,
+        })
+    }
+
+    /// Runs one iteration per stimulus row and collects the cycle trace.
+    ///
+    /// # Errors
+    /// [`SimError::Causality`] on dependence violations,
+    /// [`SimError::Steering`] on a combinational wait cycle through a shared
+    /// unit, plus the evaluation errors of the interpreter.
+    pub fn run(&self, stimulus: &Stimulus) -> Result<CycleTrace, SimError> {
+        let n_iters = stimulus.iterations();
+        let n_ops = self.body.dfg.num_ops();
+        let cpi = u64::from(self.desc.cycles_per_iteration());
+        let latency = u64::from(self.desc.num_states.max(1));
+        let fold = self.desc.fold_states();
+        let total_cycles = if n_iters == 0 {
+            0
+        } else {
+            (n_iters as u64 - 1) * cpi + latency
+        };
+
+        let mut values: Vec<Vec<Option<BitVal>>> = vec![vec![None; n_ops]; n_iters];
+        let mut trace = CycleTrace {
+            cycles_per_iteration: cpi as u32,
+            cycles: Vec::with_capacity(total_cycles as usize),
+            writes: Vec::new(),
+        };
+        let mut fu_out: Vec<Option<BitVal>> = vec![None; self.bound.fus.len()];
+
+        for t in 0..total_cycles {
+            let mut rec = CycleRecord {
+                cycle: t,
+                fsm_state: (t % u64::from(fold)) as u32,
+                active: Vec::new(),
+                fired: Vec::new(),
+            };
+            // firings of this cycle, iteration-major then topological
+            let mut firings: Vec<(usize, OpId)> = Vec::new();
+            let first = t.saturating_sub(latency - 1).div_ceil(cpi);
+            for k in first..=(t / cpi) {
+                if k as usize >= n_iters {
+                    break;
+                }
+                let local = (t - k * cpi) as u32;
+                if local >= self.desc.num_states.max(1) {
+                    continue;
+                }
+                rec.active.push((k as u32, local / fold));
+                for &id in &self.ops_by_state[local as usize] {
+                    firings.push((k as usize, id));
+                    rec.fired.push((k as u32, id));
+                }
+            }
+
+            // settle the cycle: shared units force cross-iteration ordering,
+            // so sweep until every firing has a value
+            fu_out.fill(None);
+            let mut done = vec![false; firings.len()];
+            let mut remaining = firings.len();
+            while remaining > 0 {
+                let mut progress = false;
+                for idx in 0..firings.len() {
+                    if done[idx] {
+                        continue;
+                    }
+                    let (k, id) = firings[idx];
+                    match self.try_fire(id, k, t, stimulus, &firings, &mut values, &mut fu_out)? {
+                        Ready(value) => {
+                            if let Some(w) = value {
+                                self.record_write(id, k, t, &values, &mut trace, w)?;
+                            }
+                            done[idx] = true;
+                            remaining -= 1;
+                            progress = true;
+                        }
+                        Wait => {}
+                    }
+                }
+                if !progress {
+                    let idx = done.iter().position(|d| !d).expect("remaining > 0");
+                    return Err(SimError::Steering {
+                        op: firings[idx].1,
+                        cycle: t,
+                    });
+                }
+            }
+            trace.cycles.push(rec);
+        }
+        Ok(trace)
+    }
+
+    /// Attempts to fire one operation; `Ready(Some(v))` additionally asks
+    /// the caller to record a port write of `v`.
+    #[allow(clippy::too_many_arguments)]
+    fn try_fire(
+        &self,
+        id: OpId,
+        k: usize,
+        t: u64,
+        stimulus: &Stimulus,
+        firings: &[(usize, OpId)],
+        values: &mut [Vec<Option<BitVal>>],
+        fu_out: &mut [Option<BitVal>],
+    ) -> Result<Attempt<Option<BitVal>>, SimError> {
+        let op = self.body.dfg.op(id);
+
+        // shared-unit path: the unit computes once per cycle
+        if let Some(f) = self.bound.fu_of[id] {
+            if fu_out[f.index()].is_none() {
+                match self.steer_unit(f.index(), t, firings, values)? {
+                    Ready(v) => fu_out[f.index()] = Some(v),
+                    Wait => return Ok(Wait),
+                }
+            }
+            let v = fu_out[f.index()]
+                .expect("unit settled above")
+                .resize(op.width);
+            values[k][id.index()] = Some(v);
+            return Ok(Ready(None));
+        }
+
+        // unbound operations: free ops, I/O, writes
+        let value = match &op.kind {
+            OpKind::Read(p) => BitVal::new(stimulus.value(k, *p), op.width),
+            OpKind::Call { name, .. } => {
+                return Err(SimError::UnsupportedCall {
+                    op: id,
+                    name: name.clone(),
+                })
+            }
+            OpKind::Pass if op.inputs.is_empty() => {
+                if op.is_first_iter_anchor() {
+                    BitVal::from_bits(u64::from(k == 0), 1)
+                } else {
+                    BitVal::zero(op.width)
+                }
+            }
+            OpKind::Write(_) => {
+                let v = match self.try_resolve(&op.inputs[0], id, k, t, values)? {
+                    Ready(v) => v.resize(op.width),
+                    Wait => return Ok(Wait),
+                };
+                if !op.predicate.is_true() && matches!(self.try_predicate(id, k, t, values)?, Wait)
+                {
+                    return Ok(Wait);
+                }
+                values[k][id.index()] = Some(v);
+                return Ok(Ready(Some(v)));
+            }
+            kind => {
+                let mut inputs = Vec::with_capacity(op.inputs.len());
+                for sig in &op.inputs {
+                    match self.try_resolve(sig, id, k, t, values)? {
+                        Ready(v) => inputs.push(v),
+                        Wait => return Ok(Wait),
+                    }
+                }
+                eval_op(kind, op.width, &inputs)
+                    .map_err(|source| SimError::Eval { op: id, source })?
+            }
+        };
+        values[k][id.index()] = Some(value);
+        Ok(Ready(None))
+    }
+
+    /// Resolves which operation owns unit `f` this cycle and computes the
+    /// unit's output from the owner's operands.
+    fn steer_unit(
+        &self,
+        f: usize,
+        t: u64,
+        firings: &[(usize, OpId)],
+        values: &[Vec<Option<BitVal>>],
+    ) -> Result<Attempt<BitVal>, SimError> {
+        let fu = &self.bound.fus[f];
+        // candidates: firings steered onto the unit this cycle, in the
+        // shared steering-priority order (ascending op id — all candidates
+        // of one cycle occupy the same folded slot)
+        let mut cands: Vec<(usize, OpId)> = firings
+            .iter()
+            .copied()
+            .filter(|&(_, id)| self.bound.fu_of[id] == Some(fu.instance))
+            .collect();
+        cands.sort_by_key(|&(_, id)| id);
+        let Some(&last) = cands.last() else {
+            // no candidate fires: the unit is idle, nothing observes it
+            return Ok(Ready(BitVal::zero(1)));
+        };
+        let mut owner = None;
+        if cands.len() == 1 {
+            owner = Some(last);
+        } else {
+            for &(ck, cid) in &cands {
+                if self.body.dfg.op(cid).predicate.is_true() {
+                    owner = Some((ck, cid));
+                    break;
+                }
+                match self.try_predicate(cid, ck, t, values)? {
+                    Ready(true) => {
+                        owner = Some((ck, cid));
+                        break;
+                    }
+                    Ready(false) => {}
+                    Wait => return Ok(Wait),
+                }
+            }
+        }
+        // no predicate holds: the slot's state-only fallback arm leaks the
+        // last candidate's operands — observed only by false-predicate
+        // captures
+        let (ok, oid) = owner.unwrap_or(last);
+        let op = self.body.dfg.op(oid);
+        if let OpKind::Call { name, .. } = &op.kind {
+            return Err(SimError::UnsupportedCall {
+                op: oid,
+                name: name.clone(),
+            });
+        }
+        let mut inputs = Vec::with_capacity(op.inputs.len());
+        for sig in &op.inputs {
+            match self.try_resolve(sig, oid, ok, t, values)? {
+                Ready(v) => inputs.push(v),
+                Wait => return Ok(Wait),
+            }
+        }
+        let v = eval_op(&op.kind, op.width, &inputs)
+            .map_err(|source| SimError::Eval { op: oid, source })?;
+        Ok(Ready(v))
+    }
+
+    /// Resolves an input signal, waiting when the producer fires later in
+    /// the same cycle.
+    fn try_resolve(
+        &self,
+        sig: &Signal,
+        of: OpId,
+        k: usize,
+        t: u64,
+        values: &[Vec<Option<BitVal>>],
+    ) -> Result<Attempt<BitVal>, SimError> {
+        match sig.source {
+            hls_ir::dfg::SignalSource::Const(v) => Ok(Ready(BitVal::new(v, sig.width))),
+            hls_ir::dfg::SignalSource::Op(p) => {
+                let d = sig.distance as usize;
+                if d > k {
+                    return Ok(Ready(BitVal::zero(sig.width)));
+                }
+                let kk = k - d;
+                if let Some(raw) = values[kk][p.index()] {
+                    // a carried value travels through a register that only
+                    // updates at the end of the producer's cycle
+                    if d > 0 && self.desc.fire_cycle(p, kk as u64) == Some(t) {
+                        return Err(SimError::Causality {
+                            op: of,
+                            input: p,
+                            iteration: k as u32,
+                            cycle: t,
+                        });
+                    }
+                    return Ok(Ready(raw.resize(sig.width)));
+                }
+                if !self.desc.ops.contains_key(&p) {
+                    return Err(SimError::Unscheduled { op: p });
+                }
+                if d == 0 && self.desc.fire_cycle(p, kk as u64) == Some(t) {
+                    return Ok(Wait);
+                }
+                Err(SimError::Causality {
+                    op: of,
+                    input: p,
+                    iteration: k as u32,
+                    cycle: t,
+                })
+            }
+        }
+    }
+
+    /// Evaluates an operation's predicate for iteration `k`, waiting on
+    /// same-cycle condition values.
+    fn try_predicate(
+        &self,
+        id: OpId,
+        k: usize,
+        t: u64,
+        values: &[Vec<Option<BitVal>>],
+    ) -> Result<Attempt<bool>, SimError> {
+        let op = self.body.dfg.op(id);
+        let mut assignment: BTreeMap<OpId, bool> = BTreeMap::new();
+        for c in op.predicate.condition_ops() {
+            match values[k][c.index()] {
+                Some(v) => {
+                    assignment.insert(c, v.is_true());
+                }
+                None => {
+                    if self.desc.fire_cycle(c, k as u64) == Some(t) {
+                        return Ok(Wait);
+                    }
+                    return Err(SimError::Causality {
+                        op: id,
+                        input: c,
+                        iteration: k as u32,
+                        cycle: t,
+                    });
+                }
+            }
+        }
+        Ok(Ready(op.predicate.eval(&assignment)))
+    }
+
+    /// Records a predicate-passing write.
+    #[allow(clippy::too_many_arguments)]
+    fn record_write(
+        &self,
+        id: OpId,
+        k: usize,
+        t: u64,
+        values: &[Vec<Option<BitVal>>],
+        trace: &mut CycleTrace,
+        v: BitVal,
+    ) -> Result<(), SimError> {
+        let op = self.body.dfg.op(id);
+        let OpKind::Write(p) = op.kind else {
+            return Ok(());
+        };
+        let taken = if op.predicate.is_true() {
+            true
+        } else {
+            match self.try_predicate(id, k, t, values)? {
+                Ready(b) => b,
+                Wait => {
+                    return Err(SimError::Causality {
+                        op: id,
+                        input: id,
+                        iteration: k as u32,
+                        cycle: t,
+                    })
+                }
+            }
+        };
+        if taken {
+            trace.writes.push(TimedWrite {
+                cycle: t,
+                iteration: k as u32,
+                port: p,
+                value: v.as_i64(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differential::{check_bound, random_check_bound};
+    use crate::stimulus::Stimulus;
+    use hls_frontend::designs;
+    use hls_opt::linearize::prepare_innermost_loop;
+    use hls_sched::{Scheduler, SchedulerConfig};
+    use hls_tech::{ClockConstraint, TechLibrary};
+
+    fn example1() -> LinearBody {
+        let mut cdfg = designs::paper_example1_cdfg().expect("elab");
+        prepare_innermost_loop(&mut cdfg).expect("prepare")
+    }
+
+    fn desc(body: &LinearBody, config: SchedulerConfig) -> ScheduleDesc {
+        let lib = TechLibrary::artisan_90nm_typical();
+        Scheduler::new(body, &lib, config)
+            .run()
+            .expect("schedulable")
+            .desc
+    }
+
+    #[test]
+    fn example1_bound_netlist_is_bit_exact_for_all_microarchitectures() {
+        let body = example1();
+        let clk = ClockConstraint::from_period_ps(1600.0);
+        for config in [
+            SchedulerConfig::sequential(clk, 1, 3),
+            SchedulerConfig::pipelined(clk, 2, 6),
+            SchedulerConfig::pipelined(clk, 1, 6),
+        ] {
+            let d = desc(&body, config);
+            let bound = hls_bind::bind(&body, &d).expect("bindable");
+            let report = random_check_bound(&body, &d, &bound, 100, 77).expect("bit-exact");
+            assert_eq!(report.iterations, 100);
+            assert!(report.writes_checked >= 100);
+        }
+    }
+
+    #[test]
+    fn shared_unit_evaluates_once_per_cycle() {
+        // sequential example 1 shares one multiplier across three steps;
+        // if steering were broken (every op computing its own value), this
+        // would still pass — so additionally check the trace is sane and
+        // agreement holds at a weird vector count
+        let body = example1();
+        let clk = ClockConstraint::from_period_ps(1600.0);
+        let d = desc(&body, SchedulerConfig::sequential(clk, 1, 3));
+        let bound = hls_bind::bind(&body, &d).expect("bindable");
+        assert!(bound.stats.shared_fu_count >= 1);
+        let stim = Stimulus::random(&body.dfg, 13, 5);
+        let trace = BoundSim::new(&body, &d, &bound)
+            .unwrap()
+            .run(&stim)
+            .unwrap();
+        assert_eq!(trace.cycles.len(), 13 * 3);
+        check_bound(&body, &d, &bound, &stim).expect("bit-exact");
+    }
+
+    #[test]
+    fn predicate_contended_slot_steers_to_the_true_branch() {
+        // Two mutually exclusive multiplications share one multiplier in the
+        // *same* control step; the operand mux select includes the
+        // predicate. The loser captures the winner's value — the downstream
+        // predicate-conversion mux must discard it, which the differential
+        // against the (unshared) interpreter proves on both branch
+        // polarities.
+        use hls_ir::{Dfg, PortDirection, Predicate, Signal};
+        use hls_netlist::schedule::ScheduledOp;
+        use hls_tech::{ResourceClass, ResourceSet, ResourceType};
+        use std::collections::BTreeMap;
+
+        let mut dfg = Dfg::new();
+        let x = dfg.add_port("x", PortDirection::Input, 16);
+        let y = dfg.add_port("y", PortDirection::Output, 16);
+        let r = dfg.add_op(OpKind::Read(x), 16, vec![]);
+        let c = dfg.add_op(
+            OpKind::Cmp(hls_ir::CmpKind::Gt),
+            1,
+            vec![Signal::op_w(r, 16), Signal::constant(0, 16)],
+        );
+        let m1 = dfg.add_op(
+            OpKind::Mul,
+            16,
+            vec![Signal::op_w(r, 16), Signal::constant(3, 16)],
+        );
+        let m2 = dfg.add_op(
+            OpKind::Mul,
+            16,
+            vec![Signal::op_w(r, 16), Signal::constant(5, 16)],
+        );
+        dfg.op_mut(m1).predicate = Predicate::Cond(c);
+        dfg.op_mut(m2).predicate = Predicate::NotCond(c);
+        let sel = dfg.add_op(
+            OpKind::Mux,
+            16,
+            vec![
+                Signal::op_w(c, 1),
+                Signal::op_w(m1, 16),
+                Signal::op_w(m2, 16),
+            ],
+        );
+        let w = dfg.add_op(OpKind::Write(y), 16, vec![Signal::op_w(sel, 16)]);
+        let body = LinearBody::from_dfg("contended", dfg);
+
+        let mut resources = ResourceSet::new();
+        let mul = resources.add(ResourceType::binary(ResourceClass::Multiplier, 16, 16, 16));
+        let mux = resources.add(ResourceType::mux(2, 16));
+        let mut ops = BTreeMap::new();
+        for (id, state, res) in [
+            (r, 0, None),
+            (c, 0, None),
+            (m1, 1, Some(mul)),
+            (m2, 1, Some(mul)),
+            (sel, 2, Some(mux)),
+            (w, 2, None),
+        ] {
+            ops.insert(
+                id,
+                ScheduledOp {
+                    op: id,
+                    state,
+                    resource: res,
+                },
+            );
+        }
+        let d = ScheduleDesc {
+            num_states: 3,
+            ii: None,
+            ops,
+            resources,
+        };
+        let bound = hls_bind::bind(&body, &d).expect("steerable sharing binds");
+        let fu = bound.fu_of(m1).expect("m1 bound");
+        assert_eq!(fu.candidates(1).count(), 2, "contended slot");
+        // a stimulus covering both polarities of x > 0
+        let mut stim = Stimulus::random(&body.dfg, 16, 9);
+        stim.row_mut(0).unwrap().insert(x, 7);
+        stim.row_mut(1).unwrap().insert(x, -7);
+        let report = check_bound(&body, &d, &bound, &stim).expect("bit-exact");
+        assert!(report.writes_checked >= 16);
+    }
+
+    #[test]
+    fn a_mis_bound_operation_is_detected_by_execution() {
+        // steer a multiplication onto the *comparator*: the captured value
+        // becomes the comparator's output and the write sequence diverges
+        let body = example1();
+        let clk = ClockConstraint::from_period_ps(1600.0);
+        let d = desc(&body, SchedulerConfig::sequential(clk, 1, 3));
+        let mut bound = hls_bind::bind(&body, &d).expect("bindable");
+        let mul = body
+            .dfg
+            .iter_ops()
+            .find(|(_, op)| matches!(op.kind, OpKind::Mul))
+            .map(|(id, _)| id)
+            .unwrap();
+        let wrong = bound
+            .fus
+            .iter()
+            .find(|f| !f.ops.is_empty() && Some(f.instance) != bound.fu_of[mul])
+            .map(|f| f.instance)
+            .expect("another used unit exists");
+        bound.fu_of[mul] = Some(wrong);
+        let err = random_check_bound(&body, &d, &bound, 10, 3).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::Mismatch { .. } | SimError::WriteCountMismatch { .. }
+            ),
+            "{err}"
+        );
+    }
+}

@@ -38,8 +38,37 @@ pub fn check(
     desc: &ScheduleDesc,
     stimulus: &Stimulus,
 ) -> Result<DifferentialReport, SimError> {
-    let reference = Interpreter::new(body)?.run(stimulus)?;
     let timed = ScheduleSim::new(body, desc)?.run(stimulus)?;
+    compare(body, stimulus, &timed)
+}
+
+/// Runs `stimulus` through the interpreter and the **bound** cycle-accurate
+/// simulator — shared functional units computing one steered value per
+/// cycle — and asserts bit-exact agreement of every output port's write
+/// sequence. Passing this check proves the binding's operand muxes and
+/// steering correct by execution: a mis-steered unit would leak a wrong
+/// value into an observable write.
+///
+/// # Errors
+/// Same contract as [`check`], plus [`SimError::Steering`] when a shared
+/// unit cannot settle combinationally.
+pub fn check_bound(
+    body: &LinearBody,
+    desc: &ScheduleDesc,
+    bound: &hls_bind::BoundDesign,
+    stimulus: &Stimulus,
+) -> Result<DifferentialReport, SimError> {
+    let timed = crate::bound::BoundSim::new(body, desc, bound)?.run(stimulus)?;
+    compare(body, stimulus, &timed)
+}
+
+/// Compares a timed engine's write trace against the reference interpreter.
+fn compare(
+    body: &LinearBody,
+    stimulus: &Stimulus,
+    timed: &crate::cycle::CycleTrace,
+) -> Result<DifferentialReport, SimError> {
+    let reference = Interpreter::new(body)?.run(stimulus)?;
     let mut report = DifferentialReport {
         iterations: stimulus.iterations() as u32,
         ports: 0,
@@ -89,6 +118,21 @@ pub fn random_check(
 ) -> Result<DifferentialReport, SimError> {
     let stimulus = Stimulus::random(&body.dfg, vectors, seed);
     check(body, desc, &stimulus)
+}
+
+/// Convenience wrapper: [`check_bound`] with `vectors` random input vectors.
+///
+/// # Errors
+/// See [`check_bound`].
+pub fn random_check_bound(
+    body: &LinearBody,
+    desc: &ScheduleDesc,
+    bound: &hls_bind::BoundDesign,
+    vectors: usize,
+    seed: u64,
+) -> Result<DifferentialReport, SimError> {
+    let stimulus = Stimulus::random(&body.dfg, vectors, seed);
+    check_bound(body, desc, bound, &stimulus)
 }
 
 #[cfg(test)]

@@ -59,6 +59,16 @@ pub enum SimError {
         /// Value the cycle-accurate simulation produced.
         actual: i64,
     },
+    /// The bound simulation could not steer a shared functional unit: the
+    /// operation's turn on the unit cannot be resolved (an operand or
+    /// steering condition is itself waiting on the unit, i.e. a
+    /// combinational cycle through the shared operator).
+    Steering {
+        /// The operation waiting for the unit.
+        op: OpId,
+        /// Clock cycle of the deadlock.
+        cycle: u64,
+    },
     /// The two engines produced a different number of writes on a port.
     WriteCountMismatch {
         /// Port on which the counts diverge.
@@ -100,6 +110,10 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "write #{index} to `{port_name}` (iteration {iteration}): interpreter says {expected}, schedule simulation says {actual}"
+            ),
+            SimError::Steering { op, cycle } => write!(
+                f,
+                "cannot steer the shared functional unit of {op} at cycle {cycle} (combinational wait cycle)"
             ),
             SimError::WriteCountMismatch {
                 port_name,

@@ -41,14 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bound;
 pub mod cycle;
 pub mod differential;
 pub mod error;
 pub mod interp;
 pub mod stimulus;
 
+pub use bound::BoundSim;
 pub use cycle::{CycleRecord, CycleTrace, ScheduleSim, TimedWrite};
-pub use differential::{check, random_check, DifferentialReport};
+pub use differential::{check, check_bound, random_check, random_check_bound, DifferentialReport};
 pub use error::SimError;
 pub use interp::{interpret_cdfg, InterpTrace, Interpreter, WriteEvent};
 pub use stimulus::Stimulus;

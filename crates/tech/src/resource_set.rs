@@ -120,6 +120,22 @@ impl ResourceSet {
         map
     }
 
+    /// Instance counts per interned class, indexed by
+    /// [`ResourceClassId`](crate::ResourceClassId); classes are interned into
+    /// `interner` on demand, so repeated calls against one interner produce
+    /// comparable vectors.
+    pub fn class_counts(&self, interner: &mut crate::Interner) -> Vec<usize> {
+        let mut counts = vec![0usize; interner.num_classes()];
+        for inst in &self.instances {
+            let id = interner.class_id(&inst.ty.class);
+            if id.index() >= counts.len() {
+                counts.resize(id.index() + 1, 0);
+            }
+            counts[id.index()] += 1;
+        }
+        counts
+    }
+
     /// Total functional-unit area of the set (excluding sharing muxes and
     /// registers, which the netlist estimator adds separately).
     pub fn functional_area(&self, lib: &TechLibrary) -> f64 {
@@ -204,6 +220,19 @@ mod tests {
         set.add(mul32());
         let two = set.functional_area(&lib);
         assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_counts_index_by_interned_id() {
+        let mut set = ResourceSet::new();
+        set.add_many(mul32(), 2);
+        set.add(add32());
+        let mut interner = crate::Interner::new();
+        let counts = set.class_counts(&mut interner);
+        let mul = interner.lookup_class(&ResourceClass::Multiplier).unwrap();
+        let add = interner.lookup_class(&ResourceClass::Adder).unwrap();
+        assert_eq!(counts[mul.index()], 2);
+        assert_eq!(counts[add.index()], 1);
     }
 
     #[test]

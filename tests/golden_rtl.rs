@@ -61,3 +61,49 @@ fn example1_pipelined_ii2_rtl_matches_golden() {
         .expect("example 1 pipelines at II=2");
     compare_or_bless("example1_pipelined_ii2.v", &result.rtl);
 }
+
+#[test]
+fn example1_shared_fu_rtl_has_one_multiplier_and_three_way_muxes() {
+    // Example 1 with the minimum resource set: ONE multiplier runs all
+    // three multiplications, so the text must contain exactly one `*`
+    // operator, steered through 3-input operand muxes — and the counts in
+    // the emitted `// fu` headers must agree with the binder's statistics.
+    let result = Synthesizer::new(paper_example1())
+        .clock_ps(1600.0)
+        .latency_bounds(1, 3)
+        .run()
+        .expect("example 1 schedules sequentially");
+    let rtl = &result.rtl;
+    assert_eq!(rtl.matches(" * ").count(), 1, "one physical multiplier");
+    assert!(
+        rtl.contains("// fu mul1 (mul_32x32): ops=3 mux_in0=3 mux_in1=3"),
+        "{rtl}"
+    );
+    // both multiplier ports carry a 3-arm state-steered priority chain
+    assert!(
+        rtl.contains("assign fu_2_mul1_in0 = (state == 8'd0) ?"),
+        "{rtl}"
+    );
+    // header counts match the binder's counted statistics
+    let stats = result.binding_stats();
+    assert_eq!(
+        rtl.matches("// fu ").count(),
+        stats.fu_count,
+        "one header per bound unit"
+    );
+    let mul_fu = result
+        .binding
+        .fus
+        .iter()
+        .find(|f| f.name == "mul1")
+        .expect("mul1 bound");
+    assert_eq!(mul_fu.ops.len(), 3);
+    let mul_mux_inputs: usize = result
+        .binding
+        .muxes
+        .iter()
+        .filter(|m| m.fu == mul_fu.instance && m.is_real())
+        .map(|m| m.sources.len())
+        .sum();
+    assert_eq!(mul_mux_inputs, 6, "two 3-input operand muxes on mul1");
+}

@@ -3,7 +3,7 @@
 
 use crate::error::BindError;
 use hls_ir::{LinearBody, OpId};
-use hls_netlist::schedule::ScheduleDesc;
+use hls_netlist::ScheduleDesc;
 use hls_tech::{Interner, ResourceClassId, ResourceInstanceId, ResourceTypeId};
 
 /// One operation executing on a shared functional unit.
@@ -159,7 +159,7 @@ pub(crate) fn bind_fus(
 mod tests {
     use super::*;
     use hls_ir::{Dfg, OpKind, PortDirection, Predicate, Signal};
-    use hls_netlist::schedule::ScheduledOp;
+    use hls_netlist::ScheduledOp;
     use hls_tech::{ResourceClass, ResourceSet, ResourceType};
     use std::collections::BTreeMap;
 

@@ -38,16 +38,18 @@
 
 pub mod error;
 pub mod fu;
+pub mod lower;
 pub mod mux;
 pub mod regs;
 
 pub use error::BindError;
 pub use fu::{BoundFu, FuSlotOp};
+pub use lower::{lower, LowerError, RtlStyle};
 pub use mux::InputMux;
 pub use regs::{BoundRegister, RegId};
 
 use hls_ir::{DenseOpMap, LinearBody, OpId};
-use hls_netlist::schedule::ScheduleDesc;
+use hls_netlist::ScheduleDesc;
 use hls_tech::{Interner, ResourceInstanceId};
 
 /// Binding statistics: the concrete hardware a schedule costs, as counted

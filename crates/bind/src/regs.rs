@@ -3,7 +3,7 @@
 //! physical register, allocated with a deterministic left-edge greedy.
 
 use hls_ir::{DenseOpMap, LinearBody, OpId, OpKind};
-use hls_netlist::schedule::ScheduleDesc;
+use hls_netlist::ScheduleDesc;
 
 /// Identifier of one bound register within a
 /// [`BoundDesign`](crate::BoundDesign).
@@ -203,7 +203,7 @@ pub(crate) fn bind_registers(
 mod tests {
     use super::*;
     use hls_ir::{Dfg, PortDirection, Signal};
-    use hls_netlist::schedule::ScheduledOp;
+    use hls_netlist::ScheduledOp;
     use hls_tech::ResourceSet;
     use std::collections::BTreeMap;
 

@@ -32,16 +32,18 @@ pub use hls_frontend as frontend;
 pub use hls_frontend::designs;
 pub use hls_ir as ir;
 pub use hls_netlist as netlist;
+pub use hls_nir as nir;
 pub use hls_opt as opt;
 pub use hls_pipeline as pipeline;
 pub use hls_sched as sched;
 pub use hls_sim as sim;
 pub use hls_tech as tech;
 
+use hls_bind::RtlStyle;
 use hls_frontend::{elaborate, Behavior};
 use hls_ir::LinearBody;
-use hls_netlist::rtl::{emit_rtl, RtlOptions};
-use hls_netlist::schedule::Datapath;
+use hls_netlist::{emit_verilog, Datapath};
+use hls_nir::{NirModule, RewriteReport};
 use hls_opt::linearize::{linearize_loop, prepare_innermost_loop};
 use hls_pipeline::{fold_schedule, FoldedPipeline};
 use hls_sched::{Schedule, Scheduler, SchedulerConfig};
@@ -64,9 +66,13 @@ pub enum SynthesisError {
     /// Binding failed: the schedule cannot be realized as steered shared
     /// hardware.
     Binding(hls_bind::BindError),
+    /// Lowering the bound design to the structural netlist failed.
+    Lowering(hls_bind::LowerError),
+    /// The lowered (or rewritten) netlist failed structural validation.
+    Netlist(hls_nir::NirError),
     /// Differential verification failed: the cycle-accurate simulation of
-    /// the schedule (per-op or bound) disagrees with the reference
-    /// interpreter.
+    /// the schedule (per-op, bound or netlist-level) disagrees with the
+    /// reference interpreter.
     Verification(hls_sim::SimError),
 }
 
@@ -78,6 +84,8 @@ impl fmt::Display for SynthesisError {
             SynthesisError::Scheduling(e) => write!(f, "scheduler: {e}"),
             SynthesisError::Folding(e) => write!(f, "pipeline folding: {e}"),
             SynthesisError::Binding(e) => write!(f, "binder: {e}"),
+            SynthesisError::Lowering(e) => write!(f, "netlist lowering: {e}"),
+            SynthesisError::Netlist(e) => write!(f, "netlist validation: {e}"),
             SynthesisError::Verification(e) => write!(f, "differential verification: {e}"),
         }
     }
@@ -115,6 +123,16 @@ impl From<hls_bind::BindError> for SynthesisError {
         SynthesisError::Binding(e)
     }
 }
+impl From<hls_bind::LowerError> for SynthesisError {
+    fn from(e: hls_bind::LowerError) -> Self {
+        SynthesisError::Lowering(e)
+    }
+}
+impl From<hls_nir::NirError> for SynthesisError {
+    fn from(e: hls_nir::NirError) -> Self {
+        SynthesisError::Netlist(e)
+    }
+}
 
 /// The result of one synthesis run.
 #[derive(Debug)]
@@ -129,6 +147,14 @@ pub struct SynthesisResult {
     /// over interned resource ids. The RTL below is emitted from exactly
     /// this sharing structure.
     pub binding: hls_bind::BoundDesign,
+    /// The structural netlist the RTL is printed from: the bound design
+    /// lowered to cells (muxes, registers, arithmetic, controller bits),
+    /// validated and rewritten. This is the hardware object — `rtl` is just
+    /// its serialization.
+    pub netlist: NirModule,
+    /// What the netlist rewrite pipeline did (normalization, steering-chain
+    /// rebalancing, dead-cell sweep, mux-depth before/after).
+    pub netlist_rewrites: RewriteReport,
     /// Estimated total area in library units.
     pub area: f64,
     /// Estimated total power in microwatts.
@@ -152,6 +178,13 @@ impl SynthesisResult {
     /// `area`.
     pub fn binding_stats(&self) -> hls_bind::BindStats {
         self.binding.stats
+    }
+
+    /// Cell-level statistics of the emitted netlist (per-kind cell counts,
+    /// register bits, maximum mux depth) — counted from the object the RTL
+    /// is printed from, replacing any need to grep the Verilog text.
+    pub fn netlist_stats(&self) -> hls_nir::NetlistStats {
+        self.netlist.stats()
     }
 }
 
@@ -291,6 +324,8 @@ impl Synthesizer {
             None => None,
         };
         let binding = hls_bind::bind(&body, &schedule.desc)?;
+        let mut netlist = hls_bind::lower(&body, &schedule.desc, &binding, RtlStyle::SharedFu)?;
+        hls_nir::validate(&netlist)?;
         let verification = match self.verify_vectors {
             Some(vectors) => {
                 let report =
@@ -304,26 +339,29 @@ impl Synthesizer {
                     vectors,
                     0x5EED,
                 )?;
+                // and so must the lowered cell-level netlist, pre-rewrite
+                hls_sim::differential::random_check_nir(&body, &netlist, vectors, 0x5EED)?;
                 Some(report)
             }
             None => None,
         };
+        let netlist_rewrites = hls_nir::optimize(&mut netlist);
+        hls_nir::validate(&netlist)?;
+        if let Some(vectors) = self.verify_vectors {
+            // the rewrites must not change observable behaviour
+            hls_sim::differential::random_check_nir(&body, &netlist, vectors, 0x5EED)?;
+        }
         let slack_fraction = (schedule.min_slack_ps / clock.period_ps()).clamp(0.0, 0.9);
         let dp =
             Datapath::from_schedule(&body, &schedule.desc, &self.library, clock, slack_fraction);
-        let rtl = emit_rtl(
-            &body,
-            &schedule.desc,
-            RtlOptions {
-                annotate: true,
-                ..RtlOptions::default()
-            },
-        );
+        let rtl = emit_verilog(&netlist);
         Ok(SynthesisResult {
             body,
             schedule,
             pipeline,
             binding,
+            netlist,
+            netlist_rewrites,
             area: dp.total_area(),
             power_uw: dp.total_power_uw(),
             rtl,
@@ -461,8 +499,12 @@ mod tests {
         );
         assert!(stats.register_count > 0, "{stats:?}");
         assert!(stats.mux_inputs >= 3, "{stats:?}");
-        // the emitted RTL reflects exactly this sharing
-        assert!(result.rtl.contains("// fu mul1"), "{}", result.rtl);
+        // the emitted netlist reflects exactly this sharing: one physical
+        // multiplier cell, steered
+        let nstats = result.netlist_stats();
+        assert_eq!(nstats.count("mul"), 1, "{nstats:?}");
+        assert!(nstats.count("mux") >= 2, "{nstats:?}");
+        assert!(nstats.regs > 0, "{nstats:?}");
         assert!(result.binding.summary().contains("FUs"));
     }
 

@@ -9,7 +9,7 @@ use crate::designs::{idct8_design, synthetic_design, DesignClass};
 use crate::pareto::ExplorationPoint;
 use hls_frontend::designs as paper_designs;
 use hls_ir::LinearBody;
-use hls_netlist::schedule::Datapath;
+use hls_netlist::Datapath;
 use hls_opt::linearize::prepare_innermost_loop;
 use hls_sched::{Schedule, Scheduler, SchedulerConfig};
 use hls_tech::{ClockConstraint, ResourceClass, TechLibrary};

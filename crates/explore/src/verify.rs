@@ -8,7 +8,7 @@
 //! plausible numbers.
 
 use hls_ir::LinearBody;
-use hls_netlist::schedule::ScheduleDesc;
+use hls_netlist::ScheduleDesc;
 use hls_sim::{differential, DifferentialReport, SimError};
 
 /// How a driver should verify the points it emits.

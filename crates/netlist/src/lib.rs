@@ -16,8 +16,14 @@
 //!   scheduler, shared between crates;
 //! * [`schedule::Datapath`] — functional units, sharing multiplexers and
 //!   registers extracted from a schedule, with area and power estimation;
-//! * [`rtl`] — a Verilog-like RTL emitter with an FSM controller, including
-//!   the stage-valid predication used by folded pipelines.
+//! * [`rtl`] — the Verilog printer: a thin, deterministic walk over the
+//!   structural netlist ([`hls_nir::NirModule`]) produced by `hls_bind`'s
+//!   lowering.
+//!
+//! This crate is also the façade for the structural netlist IR: downstream
+//! crates import the netlist types ([`NirModule`], [`validate`],
+//! [`text_emit`]/[`text_parse`], [`optimize`]) and the printer
+//! ([`emit_verilog`]) from here instead of reaching into modules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,5 +32,12 @@ pub mod rtl;
 pub mod schedule;
 pub mod timing;
 
+pub use hls_nir as nir;
+
+pub use hls_nir::{
+    optimize, sanitize, text_emit, text_parse, validate, BinKind, Cell, CellId, CellKind,
+    NetlistStats, NirError, NirModule, ParseError, RewriteReport, UnKind,
+};
+pub use rtl::emit_verilog;
 pub use schedule::{AreaBreakdown, Datapath, PowerBreakdown, ScheduleDesc, ScheduledOp};
 pub use timing::{ChainTiming, CombGraph};

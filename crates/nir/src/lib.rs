@@ -1,0 +1,30 @@
+//! `hls-nir`: the structural netlist IR of the rpp-hls flow.
+//!
+//! Where the behavioural IR (`hls-ir`) describes *operations over time*, this
+//! crate describes the *hardware structure* the flow commits to after
+//! scheduling and binding: muxes, registers, arithmetic cells, port
+//! reads/writes and the FSM controller, all on dense indices with explicit
+//! bit-widths ([`NirModule`]). On top of the data model it provides
+//!
+//! * [`validate`] — structural well-formedness (widths, arities, port
+//!   references, driver presence, combinational-cycle freedom),
+//! * [`text_emit`] / [`text_parse`] — a round-trippable text format with
+//!   `parse(emit(m)) == m`,
+//! * [`optimize`] — verified rewrite passes (constant/identity
+//!   normalization and steering-chain rebalancing) plus dead-cell sweep.
+//!
+//! The Verilog printer lives in `hls-netlist` and is a thin walk over this
+//! model; the lowering from a bound design lives in `hls-bind`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod rewrite;
+pub mod text;
+pub mod validate;
+
+pub use model::{sanitize, BinKind, Cell, CellId, CellKind, NetlistStats, NirModule, UnKind};
+pub use rewrite::{normalize, optimize, rebalance_mux_chains, sweep, RewriteReport};
+pub use text::{text_emit, text_parse, ParseError};
+pub use validate::{validate, NirError};

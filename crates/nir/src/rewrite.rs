@@ -1,0 +1,571 @@
+//! Verified rewrite passes over a [`NirModule`].
+//!
+//! Two families of semantics-preserving rewrites run after lowering:
+//!
+//! * **normalization** — constant folding plus identity simplification
+//!   (mux with constant select, `x*1`, `x+0`, full-range slices, identity
+//!   resizes, …). Every replacement produces a cell of the *same width* as
+//!   the replaced one, so consumers never change meaning.
+//! * **mux-chain rebalancing** — the lowered FU steering chains are linear
+//!   priority muxes (depth `n-1` for `n` arms). Because the chain semantics
+//!   is *first true condition wins*, an order-preserving split into a
+//!   balanced tree with prefix-OR selects computes the same function, at
+//!   depth `ceil(log2 n)`.
+//!
+//! A final mark-and-sweep from the output cells drops everything the
+//! rewrites orphaned and compacts the arena. The synthesis driver re-runs
+//! the differential harness on the rewritten netlist, so each pass is proven
+//! safe on every verified design, not just argued safe.
+
+use crate::model::{BinKind, Cell, CellId, CellKind, NirModule};
+use hls_ir::{eval_op, BitVal, OpKind};
+
+/// What the rewrite pipeline did, including the mux-depth movement the
+/// rebalance achieved.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct RewriteReport {
+    /// Cells replaced by normalization (constant folding + identities).
+    pub normalized: usize,
+    /// Steering chains rebuilt as balanced trees.
+    pub rebalanced: usize,
+    /// Dead cells removed by the final sweep.
+    pub swept: usize,
+    /// Maximum mux-chain depth after normalization, before rebalancing.
+    pub mux_depth_before: u32,
+    /// Maximum mux-chain depth after the full pipeline.
+    pub mux_depth_after: u32,
+}
+
+/// Runs the full rewrite pipeline in place: normalize to fixpoint, rebalance
+/// steering chains, normalize again, sweep dead cells.
+pub fn optimize(m: &mut NirModule) -> RewriteReport {
+    let mut normalized = normalize(m);
+    let mux_depth_before = m.max_mux_depth();
+    let rebalanced = rebalance_mux_chains(m);
+    normalized += normalize(m);
+    let swept = sweep(m);
+    RewriteReport {
+        normalized,
+        rebalanced,
+        swept,
+        mux_depth_before,
+        mux_depth_after: m.max_mux_depth(),
+    }
+}
+
+fn const_of(m: &NirModule, id: CellId) -> Option<BitVal> {
+    match m.cell(id).kind {
+        CellKind::Const(v) => Some(BitVal::new(v, m.cell(id).width)),
+        _ => None,
+    }
+}
+
+/// Returns `id` as-is when it already has width `w`, otherwise appends a
+/// `Resize` cell. Used by identity rules whose surviving operand has a
+/// different width than the replaced cell.
+fn resized(m: &mut NirModule, id: CellId, w: u16) -> CellId {
+    if m.cell(id).width == w {
+        id
+    } else {
+        m.push(CellKind::Resize, w, vec![id])
+    }
+}
+
+fn const_cell(m: &mut NirModule, value: i64, w: u16) -> CellId {
+    let canon = BitVal::new(value, w).as_i64();
+    m.push(CellKind::Const(canon), w, vec![])
+}
+
+/// The `OpKind` to constant-fold a pure combinational cell with, if any.
+fn fold_kind(kind: &CellKind) -> Option<OpKind> {
+    match kind {
+        CellKind::Bin(b) => Some(b.op_kind()),
+        CellKind::Un(u) => Some(u.op_kind()),
+        CellKind::Mux { .. } => Some(OpKind::Mux),
+        CellKind::Slice { hi, lo } => Some(OpKind::Slice { hi: *hi, lo: *lo }),
+        CellKind::Resize => Some(OpKind::Resize),
+        _ => None,
+    }
+}
+
+/// Constant folding and identity normalization, iterated to fixpoint.
+/// Returns the number of cells replaced. Replaced cells are left in place
+/// (dead) for [`sweep`] to reclaim; all consumers are re-pointed.
+pub fn normalize(m: &mut NirModule) -> usize {
+    let mut repl: Vec<Option<CellId>> = vec![None; m.cells.len()];
+    let mut replaced = 0usize;
+
+    // Union-find-ish resolution with path compression over the replacement
+    // map; replacement chains stay short but compress anyway.
+    fn find(repl: &mut Vec<Option<CellId>>, id: CellId) -> CellId {
+        match repl.get(id.index()).copied().flatten() {
+            None => id,
+            Some(next) => {
+                let root = find(repl, next);
+                repl[id.index()] = Some(root);
+                root
+            }
+        }
+    }
+
+    loop {
+        let mut changed = false;
+        let mut i = 0;
+        while i < m.cells.len() {
+            let id = CellId::from_raw(i as u32);
+            // Keep the map sized for cells appended by `resized`.
+            if repl.len() < m.cells.len() {
+                repl.resize(m.cells.len(), None);
+            }
+            // Re-point operands through the replacement map first.
+            let n_inputs = m.cells[i].inputs.len();
+            for k in 0..n_inputs {
+                let cur = m.cells[i].inputs[k];
+                let root = find(&mut repl, cur);
+                if root != cur {
+                    m.cells[i].inputs[k] = root;
+                }
+            }
+            if repl[i].is_none() {
+                if let Some(target) = simplify(m, id) {
+                    debug_assert_eq!(m.cell(target).width, m.cells[i].width);
+                    repl[i] = Some(target);
+                    replaced += 1;
+                    changed = true;
+                }
+            }
+            i += 1;
+        }
+        if !changed {
+            break;
+        }
+    }
+    replaced
+}
+
+/// One normalization step for the cell `id`, or `None` when no rule applies.
+/// Every returned cell has the same width as `id`.
+fn simplify(m: &mut NirModule, id: CellId) -> Option<CellId> {
+    let cell = m.cell(id);
+    let w = cell.width;
+    let inputs = cell.inputs.clone();
+    let kind = cell.kind.clone();
+
+    // Full constant folding via the shared evaluator.
+    if let Some(op) = fold_kind(&kind) {
+        let consts: Option<Vec<BitVal>> = inputs.iter().map(|&i| const_of(m, i)).collect();
+        if let Some(vals) = consts {
+            if let Ok(v) = eval_op(&op, w, &vals) {
+                return Some(const_cell(m, v.as_i64(), w));
+            }
+        }
+    }
+
+    match kind {
+        CellKind::Mux { .. } => {
+            if let Some(sel) = const_of(m, inputs[0]) {
+                // constant select: forward the chosen arm (arm width == w)
+                return Some(if sel.is_true() { inputs[1] } else { inputs[2] });
+            }
+            if inputs[1] == inputs[2] {
+                return Some(inputs[1]);
+            }
+            None
+        }
+        CellKind::Bin(b) => {
+            let lc = const_of(m, inputs[0]);
+            let rc = const_of(m, inputs[1]);
+            let fwd = |m: &mut NirModule, keep: CellId| Some(resized(m, keep, w));
+            match b {
+                BinKind::Add => {
+                    if rc.as_ref().is_some_and(|v| v.as_i64() == 0) {
+                        return fwd(m, inputs[0]);
+                    }
+                    if lc.as_ref().is_some_and(|v| v.as_i64() == 0) {
+                        return fwd(m, inputs[1]);
+                    }
+                    None
+                }
+                BinKind::Sub => {
+                    if rc.as_ref().is_some_and(|v| v.as_i64() == 0) {
+                        return fwd(m, inputs[0]);
+                    }
+                    None
+                }
+                BinKind::Mul => {
+                    if rc.as_ref().is_some_and(|v| v.as_i64() == 1) {
+                        return fwd(m, inputs[0]);
+                    }
+                    if lc.as_ref().is_some_and(|v| v.as_i64() == 1) {
+                        return fwd(m, inputs[1]);
+                    }
+                    if lc.as_ref().is_some_and(|v| v.as_i64() == 0)
+                        || rc.as_ref().is_some_and(|v| v.as_i64() == 0)
+                    {
+                        return Some(const_cell(m, 0, w));
+                    }
+                    None
+                }
+                BinKind::And => {
+                    if lc.as_ref().is_some_and(|v| v.as_i64() == 0)
+                        || rc.as_ref().is_some_and(|v| v.as_i64() == 0)
+                    {
+                        return Some(const_cell(m, 0, w));
+                    }
+                    if rc.as_ref().is_some_and(|v| v.as_i64() == -1) {
+                        return fwd(m, inputs[0]);
+                    }
+                    if lc.as_ref().is_some_and(|v| v.as_i64() == -1) {
+                        return fwd(m, inputs[1]);
+                    }
+                    None
+                }
+                BinKind::Or | BinKind::Xor => {
+                    if rc.as_ref().is_some_and(|v| v.as_i64() == 0) {
+                        return fwd(m, inputs[0]);
+                    }
+                    if lc.as_ref().is_some_and(|v| v.as_i64() == 0) {
+                        return fwd(m, inputs[1]);
+                    }
+                    None
+                }
+                BinKind::Shl | BinKind::Shr => {
+                    if rc.as_ref().is_some_and(|v| v.as_u64() == 0) {
+                        return fwd(m, inputs[0]);
+                    }
+                    None
+                }
+                _ => None,
+            }
+        }
+        CellKind::Slice { hi, lo } => {
+            let iw = m.cell(inputs[0]).width;
+            if lo == 0 && hi + 1 == iw && w == iw {
+                return Some(inputs[0]);
+            }
+            None
+        }
+        CellKind::Resize => {
+            if m.cell(inputs[0]).width == w {
+                return Some(inputs[0]);
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Rebuilds `x*1`-free steering chains (onehot mux spines) as balanced
+/// trees. The produced tree muxes are *not* marked onehot, so the pass is
+/// idempotent: a second run finds no chains. Returns the number of chains
+/// rebuilt.
+pub fn rebalance_mux_chains(m: &mut NirModule) -> usize {
+    let n = m.cells.len();
+    let mut use_count = vec![0u32; n];
+    for cell in &m.cells {
+        for input in &cell.inputs {
+            use_count[input.index()] += 1;
+        }
+    }
+
+    let is_onehot =
+        |m: &NirModule, id: CellId| matches!(m.cell(id).kind, CellKind::Mux { onehot: true });
+
+    // A spine interior is a single-use onehot mux consumed as the else-arm of
+    // another onehot mux; heads are the onehot muxes that are not interiors.
+    let mut interior = vec![false; n];
+    for i in 0..n {
+        let id = CellId::from_raw(i as u32);
+        if is_onehot(m, id) {
+            let e = m.cell(id).inputs[2];
+            if is_onehot(m, e) && use_count[e.index()] == 1 {
+                interior[e.index()] = true;
+            }
+        }
+    }
+
+    let mut rebuilt = 0usize;
+    for i in 0..n {
+        let head = CellId::from_raw(i as u32);
+        if !is_onehot(m, head) || interior[head.index()] {
+            continue;
+        }
+        // Walk the else-spine, collecting (cond, value) arms and the default.
+        let mut arms: Vec<(CellId, CellId)> = Vec::new();
+        let mut cur = head;
+        loop {
+            let c = m.cell(cur);
+            arms.push((c.inputs[0], c.inputs[1]));
+            let e = c.inputs[2];
+            if is_onehot(m, e) && use_count[e.index()] == 1 {
+                cur = e;
+            } else {
+                break;
+            }
+        }
+        let default = m.cell(cur).inputs[2];
+        if arms.len() < 3 {
+            // Depth ≤ 2 already; just clear the marks so the pass is
+            // convergent.
+            let mut at = head;
+            loop {
+                m.cells[at.index()].kind = CellKind::Mux { onehot: false };
+                let e = m.cells[at.index()].inputs[2];
+                if is_onehot(m, e) && use_count[e.index()] == 1 {
+                    at = e;
+                } else {
+                    break;
+                }
+            }
+            continue;
+        }
+        let w = m.cell(head).width;
+        let root = build_tree(m, &arms, default, w);
+        // Overwrite the head in place so consumers stay pointed at it; the
+        // interior spine cells become dead and are swept.
+        let root_cell = m.cell(root).clone();
+        m.cells[head.index()].kind = root_cell.kind;
+        m.cells[head.index()].inputs = root_cell.inputs;
+        rebuilt += 1;
+    }
+    rebuilt
+}
+
+/// Builds a balanced first-true-wins tree over `arms` with `default` as the
+/// fall-through. The select of an inner node ORs the conditions of its left
+/// half (a prefix-OR), preserving priority order exactly.
+fn build_tree(m: &mut NirModule, arms: &[(CellId, CellId)], default: CellId, w: u16) -> CellId {
+    if arms.is_empty() {
+        return default;
+    }
+    if arms.len() == 1 {
+        let (c, v) = arms[0];
+        return m.push(CellKind::Mux { onehot: false }, w, vec![c, v, default]);
+    }
+    let mid = arms.len().div_ceil(2);
+    let (left, right) = arms.split_at(mid);
+    // When the left subtree is selected, some left condition is true, so the
+    // left half needs no fall-through of its own.
+    let left_tree = build_left(m, left, w);
+    let right_tree = build_tree(m, right, default, w);
+    let sel = or_tree(m, &left.iter().map(|&(c, _)| c).collect::<Vec<_>>());
+    m.push(
+        CellKind::Mux { onehot: false },
+        w,
+        vec![sel, left_tree, right_tree],
+    )
+}
+
+/// Like [`build_tree`], but for a subtree that is only entered when one of
+/// its conditions is already known true: the last arm needs no test.
+fn build_left(m: &mut NirModule, arms: &[(CellId, CellId)], w: u16) -> CellId {
+    if arms.len() == 1 {
+        return arms[0].1;
+    }
+    let mid = arms.len().div_ceil(2);
+    let (left, right) = arms.split_at(mid);
+    let left_tree = build_left(m, left, w);
+    let right_tree = build_left(m, right, w);
+    let sel = or_tree(m, &left.iter().map(|&(c, _)| c).collect::<Vec<_>>());
+    m.push(
+        CellKind::Mux { onehot: false },
+        w,
+        vec![sel, left_tree, right_tree],
+    )
+}
+
+/// Balanced OR reduction of 1-bit condition cells.
+fn or_tree(m: &mut NirModule, conds: &[CellId]) -> CellId {
+    match conds.len() {
+        0 => const_cell(m, 0, 1),
+        1 => conds[0],
+        _ => {
+            let mid = conds.len().div_ceil(2);
+            let l = or_tree(m, &conds[..mid]);
+            let r = or_tree(m, &conds[mid..]);
+            let lw = m.cell(l).width.max(m.cell(r).width);
+            m.push(CellKind::Bin(BinKind::Or), lw, vec![l, r])
+        }
+    }
+}
+
+/// Mark-and-sweep from the output cells: removes unreachable cells and
+/// compacts ids. Returns the number of cells removed. A module without any
+/// output cells is left untouched.
+pub fn sweep(m: &mut NirModule) -> usize {
+    let n = m.cells.len();
+    let roots: Vec<CellId> = m
+        .iter_cells()
+        .filter(|(_, c)| matches!(c.kind, CellKind::Output { .. }))
+        .map(|(id, _)| id)
+        .collect();
+    if roots.is_empty() {
+        return 0;
+    }
+    let mut live = vec![false; n];
+    let mut stack: Vec<CellId> = roots;
+    while let Some(id) = stack.pop() {
+        if live[id.index()] {
+            continue;
+        }
+        live[id.index()] = true;
+        for &input in &m.cell(id).inputs {
+            if !live[input.index()] {
+                stack.push(input);
+            }
+        }
+    }
+    let dead = live.iter().filter(|&&l| !l).count();
+    if dead == 0 {
+        return 0;
+    }
+    let mut remap = vec![CellId::from_raw(0); n];
+    let mut kept: Vec<Cell> = Vec::with_capacity(n - dead);
+    for (i, cell) in m.cells.drain(..).enumerate() {
+        if live[i] {
+            remap[i] = CellId::from_raw(kept.len() as u32);
+            kept.push(cell);
+        }
+    }
+    for cell in &mut kept {
+        for input in &mut cell.inputs {
+            *input = remap[input.index()];
+        }
+    }
+    m.cells = kept;
+    dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NirModule;
+    use crate::validate::validate;
+    use hls_ir::{Port, PortDirection};
+
+    fn shell() -> NirModule {
+        let mut m = NirModule::new("t");
+        m.ports.push(Port {
+            name: "o".into(),
+            direction: PortDirection::Output,
+            width: 8,
+        });
+        m
+    }
+
+    fn finish(m: &mut NirModule, data: CellId) {
+        let en = m.push(CellKind::Const(1), 1, vec![]);
+        let d8 = resized(m, data, 8);
+        m.push(CellKind::Output { port: 0, state: 0 }, 8, vec![d8, en]);
+    }
+
+    #[test]
+    fn folds_constants_through_the_evaluator() {
+        let mut m = shell();
+        let a = m.push(CellKind::Const(200), 8, vec![]);
+        let b = m.push(CellKind::Const(100), 8, vec![]);
+        let s = m.push(CellKind::Bin(BinKind::Add), 8, vec![a, b]);
+        finish(&mut m, s);
+        let r = optimize(&mut m);
+        assert!(r.normalized >= 1);
+        validate(&m).unwrap();
+        // 200 + 100 wraps to 44 at 8 bits signed
+        let out = m
+            .iter_cells()
+            .find(|(_, c)| matches!(c.kind, CellKind::Output { .. }))
+            .unwrap()
+            .1
+            .inputs[0];
+        assert_eq!(m.cell(out).kind, CellKind::Const(44));
+    }
+
+    #[test]
+    fn forwards_identities_with_width_preserved() {
+        let mut m = shell();
+        let x = m.push(CellKind::Const(5), 4, vec![]); // opaque? it's const...
+        let one = m.push(CellKind::Const(1), 8, vec![]);
+        // keep x opaque by running through a register
+        let en = m.push(CellKind::Const(1), 1, vec![]);
+        let r = m.push(CellKind::Reg { init: 0 }, 4, vec![x, en]);
+        let rz = m.push(CellKind::Resize, 8, vec![r]);
+        let prod = m.push(CellKind::Bin(BinKind::Mul), 8, vec![rz, one]);
+        finish(&mut m, prod);
+        let _ = optimize(&mut m);
+        validate(&m).unwrap();
+        // the multiply by one is gone
+        assert_eq!(m.stats().count("mul"), 0);
+    }
+
+    #[test]
+    fn mux_constant_select_forwards_an_arm() {
+        let mut m = shell();
+        let t = m.push(CellKind::Const(1), 1, vec![]);
+        let en = m.push(CellKind::Const(1), 1, vec![]);
+        let x = m.push(CellKind::Input { port: 1, state: 0 }, 8, vec![]);
+        m.ports.push(Port {
+            name: "i".into(),
+            direction: PortDirection::Input,
+            width: 8,
+        });
+        let r = m.push(CellKind::Reg { init: 0 }, 8, vec![x, en]);
+        let other = m.push(CellKind::Const(9), 8, vec![]);
+        let mx = m.push(CellKind::Mux { onehot: false }, 8, vec![t, r, other]);
+        finish(&mut m, mx);
+        let _ = optimize(&mut m);
+        validate(&m).unwrap();
+        assert_eq!(m.stats().count("mux"), 0);
+    }
+
+    #[test]
+    fn rebalances_a_long_chain_and_is_idempotent() {
+        // 8-arm onehot chain: depth 7 linear, depth 3 balanced.
+        let mut m = shell();
+        let mut conds = Vec::new();
+        let mut vals = Vec::new();
+        let en = m.push(CellKind::Const(1), 1, vec![]);
+        for k in 0..8i64 {
+            // distinct opaque conditions/values via registers
+            let cbit = m.push(CellKind::Const(0), 1, vec![]);
+            let c = m.push(CellKind::Reg { init: k & 1 }, 1, vec![cbit, en]);
+            conds.push(c);
+            let vconst = m.push(CellKind::Const(k), 8, vec![]);
+            let v = m.push(CellKind::Reg { init: 0 }, 8, vec![vconst, en]);
+            vals.push(v);
+        }
+        let default = m.push(CellKind::Const(-1), 8, vec![]);
+        let mut acc = default;
+        for k in (0..7).rev() {
+            acc = m.push(
+                CellKind::Mux { onehot: true },
+                8,
+                vec![conds[k], vals[k], acc],
+            );
+        }
+        finish(&mut m, acc);
+        assert_eq!(m.max_mux_depth(), 7);
+        let r1 = optimize(&mut m);
+        validate(&m).unwrap();
+        assert_eq!(r1.rebalanced, 1);
+        // 8 arms + default = 9 leaves → balanced depth ceil(log2 9) = 4
+        assert!(r1.mux_depth_after <= 4, "depth {}", r1.mux_depth_after);
+        assert!(r1.mux_depth_after < r1.mux_depth_before);
+        // Second run: nothing left to do, structure unchanged.
+        let before = m.clone();
+        let r2 = optimize(&mut m);
+        assert_eq!(r2.rebalanced, 0);
+        assert_eq!(r2.swept, 0);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn sweep_drops_orphans_and_compacts() {
+        let mut m = shell();
+        let live = m.push(CellKind::Const(7), 8, vec![]);
+        let _dead = m.push(CellKind::Const(42), 16, vec![]);
+        finish(&mut m, live);
+        let removed = sweep(&mut m);
+        assert_eq!(removed, 1);
+        validate(&m).unwrap();
+        assert_eq!(m.num_cells(), 3);
+    }
+}

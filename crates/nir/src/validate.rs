@@ -1,0 +1,390 @@
+//! Structural validation of a [`NirModule`].
+//!
+//! `validate` checks the invariants every consumer (simulator, rewriter,
+//! Verilog printer) relies on: operand ids in range, per-kind arity, width
+//! agreement, port references consistent with the module interface, every
+//! output port driven, and the absence of combinational cycles (registers
+//! break cycles). The cycle check uses the same iterative colour-marked DFS
+//! idiom as the scheduler's combinational-path walker.
+
+use crate::model::{CellId, CellKind, NirModule};
+use hls_ir::PortDirection;
+use std::fmt;
+
+/// A structural defect found by [`validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NirError {
+    /// An operand id is outside the cell arena.
+    BadOperand {
+        /// The referencing cell.
+        cell: CellId,
+        /// Which operand slot held the bad id.
+        index: usize,
+    },
+    /// A cell has the wrong number of operands for its kind.
+    BadArity {
+        /// The offending cell.
+        cell: CellId,
+        /// Operand count the kind requires.
+        expected: usize,
+        /// Operand count the cell has.
+        found: usize,
+    },
+    /// A cell has width zero.
+    ZeroWidth {
+        /// The offending cell.
+        cell: CellId,
+    },
+    /// Widths disagree between a cell and one of its operands.
+    WidthMismatch {
+        /// The offending cell.
+        cell: CellId,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// A port reference is out of range or has the wrong direction.
+    BadPort {
+        /// The offending cell.
+        cell: CellId,
+    },
+    /// An output port has no `Output` cell driving it.
+    UndrivenOutput {
+        /// Index of the undriven port.
+        port: u32,
+    },
+    /// A pipeline-stage reference is outside `0..stages`.
+    BadStage {
+        /// The offending cell.
+        cell: CellId,
+    },
+    /// A combinational cycle passes through this cell.
+    CombCycle {
+        /// A cell on the cycle.
+        cell: CellId,
+    },
+}
+
+impl fmt::Display for NirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NirError::BadOperand { cell, index } => {
+                write!(f, "cell {cell}: operand {index} is out of range")
+            }
+            NirError::BadArity {
+                cell,
+                expected,
+                found,
+            } => write!(
+                f,
+                "cell {cell}: expected {expected} operand(s), found {found}"
+            ),
+            NirError::ZeroWidth { cell } => write!(f, "cell {cell}: zero width"),
+            NirError::WidthMismatch { cell, detail } => {
+                write!(f, "cell {cell}: width mismatch ({detail})")
+            }
+            NirError::BadPort { cell } => {
+                write!(f, "cell {cell}: bad port reference")
+            }
+            NirError::UndrivenOutput { port } => {
+                write!(f, "output port {port} has no driver")
+            }
+            NirError::BadStage { cell } => {
+                write!(f, "cell {cell}: pipeline stage out of range")
+            }
+            NirError::CombCycle { cell } => {
+                write!(f, "combinational cycle through cell {cell}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NirError {}
+
+/// Checks all structural invariants of `m`; `Ok(())` means every consumer may
+/// assume widths agree, references resolve and combinational logic is acyclic.
+pub fn validate(m: &NirModule) -> Result<(), NirError> {
+    let n = m.cells.len();
+    for (id, cell) in m.iter_cells() {
+        let expected = cell.kind.arity();
+        if cell.inputs.len() != expected {
+            return Err(NirError::BadArity {
+                cell: id,
+                expected,
+                found: cell.inputs.len(),
+            });
+        }
+        for (index, input) in cell.inputs.iter().enumerate() {
+            if input.index() >= n {
+                return Err(NirError::BadOperand { cell: id, index });
+            }
+        }
+        if cell.width == 0 {
+            return Err(NirError::ZeroWidth { cell: id });
+        }
+        let in_w = |i: usize| m.cell(cell.inputs[i]).width;
+        match &cell.kind {
+            CellKind::Const(_) => {}
+            CellKind::Input { port, .. } => {
+                let Some(p) = m.ports.get(*port as usize) else {
+                    return Err(NirError::BadPort { cell: id });
+                };
+                if p.direction != PortDirection::Input {
+                    return Err(NirError::BadPort { cell: id });
+                }
+                if p.width != cell.width {
+                    return Err(NirError::WidthMismatch {
+                        cell: id,
+                        detail: format!("input cell w{} vs port w{}", cell.width, p.width),
+                    });
+                }
+            }
+            CellKind::Output { port, .. } => {
+                let Some(p) = m.ports.get(*port as usize) else {
+                    return Err(NirError::BadPort { cell: id });
+                };
+                if p.direction != PortDirection::Output {
+                    return Err(NirError::BadPort { cell: id });
+                }
+                if p.width != cell.width || in_w(0) != cell.width {
+                    return Err(NirError::WidthMismatch {
+                        cell: id,
+                        detail: format!(
+                            "output cell w{} data w{} vs port w{}",
+                            cell.width,
+                            in_w(0),
+                            p.width
+                        ),
+                    });
+                }
+            }
+            CellKind::Bin(b) => {
+                if matches!(b, crate::model::BinKind::Cmp(_)) && cell.width != 1 {
+                    return Err(NirError::WidthMismatch {
+                        cell: id,
+                        detail: format!("comparison must be 1 bit, found w{}", cell.width),
+                    });
+                }
+            }
+            CellKind::Un(_) => {}
+            CellKind::Mux { .. } => {
+                if in_w(1) != cell.width || in_w(2) != cell.width {
+                    return Err(NirError::WidthMismatch {
+                        cell: id,
+                        detail: format!(
+                            "mux w{} with arms w{} / w{}",
+                            cell.width,
+                            in_w(1),
+                            in_w(2)
+                        ),
+                    });
+                }
+            }
+            CellKind::Slice { hi, lo } => {
+                if hi < lo || cell.width != hi - lo + 1 {
+                    return Err(NirError::WidthMismatch {
+                        cell: id,
+                        detail: format!("slice [{hi}:{lo}] with w{}", cell.width),
+                    });
+                }
+            }
+            CellKind::Resize => {}
+            CellKind::Reg { .. } => {
+                if in_w(0) != cell.width {
+                    return Err(NirError::WidthMismatch {
+                        cell: id,
+                        detail: format!("reg w{} with data w{}", cell.width, in_w(0)),
+                    });
+                }
+            }
+            CellKind::FsmState => {
+                if cell.width != 8 {
+                    return Err(NirError::WidthMismatch {
+                        cell: id,
+                        detail: format!("fsm state must be 8 bits, found w{}", cell.width),
+                    });
+                }
+            }
+            CellKind::StageValid { stage } | CellKind::FirstIter { stage } => {
+                if cell.width != 1 {
+                    return Err(NirError::WidthMismatch {
+                        cell: id,
+                        detail: format!("controller bit must be 1 bit, found w{}", cell.width),
+                    });
+                }
+                if *stage >= m.stages {
+                    return Err(NirError::BadStage { cell: id });
+                }
+            }
+        }
+    }
+
+    // Driver presence: every output port must be written by at least one
+    // Output cell.
+    for (pi, p) in m.ports.iter().enumerate() {
+        if p.direction != PortDirection::Output {
+            continue;
+        }
+        let driven = m
+            .cells
+            .iter()
+            .any(|c| matches!(c.kind, CellKind::Output { port, .. } if port as usize == pi));
+        if !driven {
+            return Err(NirError::UndrivenOutput { port: pi as u32 });
+        }
+    }
+
+    comb_cycle_check(m)
+}
+
+/// Iterative colour-marked DFS over combinational edges; a register has no
+/// outgoing combinational edges (its value is the stored one), so cycles
+/// through a register are legal feedback, not errors.
+fn comb_cycle_check(m: &NirModule) -> Result<(), NirError> {
+    const WHITE: u8 = 0;
+    const GREY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut colour = vec![WHITE; m.cells.len()];
+    let mut stack: Vec<(u32, bool)> = Vec::new();
+    for root in 0..m.cells.len() as u32 {
+        if colour[root as usize] != WHITE {
+            continue;
+        }
+        stack.push((root, false));
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                colour[id as usize] = BLACK;
+                continue;
+            }
+            if colour[id as usize] == BLACK {
+                continue;
+            }
+            colour[id as usize] = GREY;
+            stack.push((id, true));
+            let cell = &m.cells[id as usize];
+            if cell.kind.is_seq() {
+                // Sequential: inputs are sampled at the clock edge, not
+                // combinationally transparent.
+                continue;
+            }
+            for &input in &cell.inputs {
+                match colour[input.index()] {
+                    WHITE => stack.push((input.index() as u32, false)),
+                    GREY => {
+                        return Err(NirError::CombCycle { cell: input });
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BinKind, Cell, NirModule};
+    use hls_ir::Port;
+
+    fn module_with_out() -> NirModule {
+        let mut m = NirModule::new("t");
+        m.ports.push(Port {
+            name: "x".into(),
+            direction: PortDirection::Input,
+            width: 8,
+        });
+        m.ports.push(Port {
+            name: "y".into(),
+            direction: PortDirection::Output,
+            width: 8,
+        });
+        m
+    }
+
+    fn drive_output(m: &mut NirModule, data: CellId) {
+        let en = m.push(CellKind::Const(1), 1, vec![]);
+        m.push(CellKind::Output { port: 1, state: 0 }, 8, vec![data, en]);
+    }
+
+    #[test]
+    fn accepts_a_well_formed_module() {
+        let mut m = module_with_out();
+        let i = m.push(CellKind::Input { port: 0, state: 0 }, 8, vec![]);
+        let c = m.push(CellKind::Const(2), 8, vec![]);
+        let s = m.push(CellKind::Bin(BinKind::Add), 8, vec![i, c]);
+        drive_output(&mut m, s);
+        assert_eq!(validate(&m), Ok(()));
+    }
+
+    #[test]
+    fn rejects_out_of_range_operand() {
+        let mut m = module_with_out();
+        let bogus = CellId::from_raw(99);
+        let id = m.add_cell(Cell {
+            kind: CellKind::Resize,
+            width: 8,
+            inputs: vec![bogus],
+            name: None,
+        });
+        drive_output(&mut m, id);
+        assert!(matches!(validate(&m), Err(NirError::BadOperand { .. })));
+    }
+
+    #[test]
+    fn rejects_mux_arm_width_mismatch() {
+        let mut m = module_with_out();
+        let s = m.push(CellKind::Const(1), 1, vec![]);
+        let a = m.push(CellKind::Const(1), 8, vec![]);
+        let b = m.push(CellKind::Const(1), 4, vec![]);
+        let mx = m.push(CellKind::Mux { onehot: false }, 8, vec![s, a, b]);
+        drive_output(&mut m, mx);
+        assert!(matches!(validate(&m), Err(NirError::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_undriven_output_port() {
+        let m = module_with_out();
+        assert_eq!(validate(&m), Err(NirError::UndrivenOutput { port: 1 }));
+    }
+
+    #[test]
+    fn rejects_combinational_cycle_but_allows_register_feedback() {
+        let mut m = module_with_out();
+        // a = add(a, c): direct comb cycle
+        let c = m.push(CellKind::Const(1), 8, vec![]);
+        let a = m.add_cell(Cell {
+            kind: CellKind::Bin(BinKind::Add),
+            width: 8,
+            inputs: vec![CellId::from_raw(1), c],
+            name: None,
+        });
+        assert_eq!(a.index(), 1);
+        drive_output(&mut m, a);
+        assert!(matches!(validate(&m), Err(NirError::CombCycle { .. })));
+
+        // feedback through a register is fine: r = reg(add(r, c))
+        let mut m = module_with_out();
+        let c = m.push(CellKind::Const(1), 8, vec![]);
+        let en = m.push(CellKind::Const(1), 1, vec![]);
+        // reserve the reg id first
+        let r = m.add_cell(Cell {
+            kind: CellKind::Reg { init: 0 },
+            width: 8,
+            inputs: vec![c, en], // placeholder, patched below
+            name: None,
+        });
+        let sum = m.push(CellKind::Bin(BinKind::Add), 8, vec![r, c]);
+        m.cells[r.index()].inputs = vec![sum, en];
+        drive_output(&mut m, r);
+        assert_eq!(validate(&m), Ok(()));
+    }
+
+    #[test]
+    fn rejects_wrong_direction_port_reference() {
+        let mut m = module_with_out();
+        // reading the output port
+        let i = m.push(CellKind::Input { port: 1, state: 0 }, 8, vec![]);
+        drive_output(&mut m, i);
+        assert!(matches!(validate(&m), Err(NirError::BadPort { .. })));
+    }
+}

@@ -51,8 +51,8 @@ use crate::pass::PassFailure;
 use crate::relax::{RelaxAction, Restraint};
 use hls_ir::analysis::Scc;
 use hls_ir::{LinearBody, OpId, OpKind, PinnedState};
-use hls_netlist::schedule::{ScheduleDesc, ScheduledOp};
-use hls_netlist::timing::ChainTiming;
+use hls_netlist::ChainTiming;
+use hls_netlist::{ScheduleDesc, ScheduledOp};
 use hls_tech::{
     Interner, ResourceClass, ResourceClassId, ResourceInstanceId, ResourceSet, ResourceType,
     ResourceTypeId, TechLibrary,

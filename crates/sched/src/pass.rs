@@ -11,8 +11,8 @@ use crate::engine::{Engine, EngineOutcome};
 use crate::relax::Restraint;
 use hls_ir::analysis::{alap_levels, asap_levels, Scc};
 use hls_ir::{LinearBody, OpId, OpKind};
-use hls_netlist::schedule::{ScheduleDesc, ScheduledOp};
-use hls_netlist::timing::{ChainTiming, CombGraph};
+use hls_netlist::{ChainTiming, CombGraph};
+use hls_netlist::{ScheduleDesc, ScheduledOp};
 use hls_tech::{
     Interner, ResourceClass, ResourceInstanceId, ResourceSet, ResourceType, TechLibrary,
 };

@@ -17,7 +17,7 @@ use crate::relax::{choose_action, RelaxAction};
 use crate::resources::initial_resource_set;
 use hls_ir::analysis::{sccs, Scc};
 use hls_ir::{LinearBody, OpId};
-use hls_netlist::schedule::ScheduleDesc;
+use hls_netlist::ScheduleDesc;
 use hls_tech::{ResourceInstanceId, ResourceSet, TechLibrary};
 use std::collections::{HashMap, HashSet};
 
@@ -297,7 +297,7 @@ pub fn schedule_separated(
     // the state assignment and recompute the worst slack with sharing muxes,
     // reporting it (possibly negative — the post-synthesis surprise).
     let shared = initial_resource_set(body, config.ii_or(latency));
-    let mut timing = hls_netlist::timing::ChainTiming::new(lib, config.clock);
+    let mut timing = hls_netlist::ChainTiming::new(lib, config.clock);
     let mut min_slack: f64 = config.clock.period_ps();
     for (id, s) in &schedule_states.ops {
         let op = body.dfg.op(*id);

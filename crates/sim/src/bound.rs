@@ -34,7 +34,7 @@ use crate::stimulus::Stimulus;
 use hls_bind::BoundDesign;
 use hls_ir::eval::{eval_op, BitVal};
 use hls_ir::{LinearBody, OpId, OpKind, Signal};
-use hls_netlist::schedule::ScheduleDesc;
+use hls_netlist::ScheduleDesc;
 use std::collections::{BTreeMap, HashMap};
 
 /// Result of one settle attempt: the value is ready, or the firing must
@@ -503,7 +503,7 @@ mod tests {
         // against the (unshared) interpreter proves on both branch
         // polarities.
         use hls_ir::{Dfg, PortDirection, Predicate, Signal};
-        use hls_netlist::schedule::ScheduledOp;
+        use hls_netlist::ScheduledOp;
         use hls_tech::{ResourceClass, ResourceSet, ResourceType};
         use std::collections::BTreeMap;
 

@@ -21,7 +21,7 @@ use crate::error::SimError;
 use crate::stimulus::Stimulus;
 use hls_ir::eval::{eval_op, BitVal};
 use hls_ir::{LinearBody, OpId, OpKind, PortId, Signal};
-use hls_netlist::schedule::ScheduleDesc;
+use hls_netlist::ScheduleDesc;
 use std::collections::{BTreeMap, HashMap};
 
 /// One predicate-passing port write with its timing.
@@ -337,7 +337,7 @@ mod tests {
     use hls_sched::{Scheduler, SchedulerConfig};
     use hls_tech::{ClockConstraint, TechLibrary};
 
-    fn schedule(body: &LinearBody, config: SchedulerConfig) -> hls_netlist::schedule::ScheduleDesc {
+    fn schedule(body: &LinearBody, config: SchedulerConfig) -> hls_netlist::ScheduleDesc {
         let lib = TechLibrary::artisan_90nm_typical();
         Scheduler::new(body, &lib, config)
             .run()
@@ -425,7 +425,7 @@ mod tests {
         // the cycle, so this schedule must be rejected, not silently
         // resolved combinationally.
         use hls_ir::{Dfg, PortDirection, Signal};
-        use hls_netlist::schedule::{ScheduleDesc, ScheduledOp};
+        use hls_netlist::{ScheduleDesc, ScheduledOp};
         use std::collections::BTreeMap;
         let mut dfg = Dfg::new();
         let x = dfg.add_port("x", PortDirection::Input, 8);

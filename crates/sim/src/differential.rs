@@ -13,7 +13,8 @@ use crate::error::SimError;
 use crate::interp::Interpreter;
 use crate::stimulus::Stimulus;
 use hls_ir::{LinearBody, PortDirection};
-use hls_netlist::schedule::ScheduleDesc;
+use hls_netlist::ScheduleDesc;
+use hls_nir::NirModule;
 
 /// Summary of a passing differential run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -59,6 +60,25 @@ pub fn check_bound(
     stimulus: &Stimulus,
 ) -> Result<DifferentialReport, SimError> {
     let timed = crate::bound::BoundSim::new(body, desc, bound)?.run(stimulus)?;
+    compare(body, stimulus, &timed)
+}
+
+/// Runs `stimulus` through the interpreter and the **netlist** simulator —
+/// the lowered cell-level hardware, controller and register chains included —
+/// and asserts bit-exact agreement of every output port's write sequence.
+/// This is the deepest check in the flow: it executes the same object the
+/// Verilog printer serializes, so passing it proves the lowering (and any
+/// rewrite passes applied to the netlist) correct by execution.
+///
+/// # Errors
+/// Same contract as [`check`], plus [`SimError::Netlist`] when the netlist
+/// itself cannot be simulated.
+pub fn check_nir(
+    body: &LinearBody,
+    netlist: &NirModule,
+    stimulus: &Stimulus,
+) -> Result<DifferentialReport, SimError> {
+    let timed = crate::nir::NirSim::new(netlist)?.run(stimulus)?;
     compare(body, stimulus, &timed)
 }
 
@@ -133,6 +153,20 @@ pub fn random_check_bound(
 ) -> Result<DifferentialReport, SimError> {
     let stimulus = Stimulus::random(&body.dfg, vectors, seed);
     check_bound(body, desc, bound, &stimulus)
+}
+
+/// Convenience wrapper: [`check_nir`] with `vectors` random input vectors.
+///
+/// # Errors
+/// See [`check_nir`].
+pub fn random_check_nir(
+    body: &LinearBody,
+    netlist: &NirModule,
+    vectors: usize,
+    seed: u64,
+) -> Result<DifferentialReport, SimError> {
+    let stimulus = Stimulus::random(&body.dfg, vectors, seed);
+    check_nir(body, netlist, &stimulus)
 }
 
 #[cfg(test)]

@@ -69,6 +69,14 @@ pub enum SimError {
         /// Clock cycle of the deadlock.
         cycle: u64,
     },
+    /// The structural netlist could not be simulated: a combinational
+    /// cycle, or a cell that failed to evaluate.
+    Netlist {
+        /// Index of the offending cell in the netlist.
+        cell: u32,
+        /// What went wrong.
+        reason: String,
+    },
     /// The two engines produced a different number of writes on a port.
     WriteCountMismatch {
         /// Port on which the counts diverge.
@@ -115,6 +123,9 @@ impl fmt::Display for SimError {
                 f,
                 "cannot steer the shared functional unit of {op} at cycle {cycle} (combinational wait cycle)"
             ),
+            SimError::Netlist { cell, reason } => {
+                write!(f, "netlist cell %{cell}: {reason}")
+            }
             SimError::WriteCountMismatch {
                 port_name,
                 expected,

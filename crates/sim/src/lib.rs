@@ -46,13 +46,18 @@ pub mod cycle;
 pub mod differential;
 pub mod error;
 pub mod interp;
+pub mod nir;
 pub mod stimulus;
 
 pub use bound::BoundSim;
 pub use cycle::{CycleRecord, CycleTrace, ScheduleSim, TimedWrite};
-pub use differential::{check, check_bound, random_check, random_check_bound, DifferentialReport};
+pub use differential::{
+    check, check_bound, check_nir, random_check, random_check_bound, random_check_nir,
+    DifferentialReport,
+};
 pub use error::SimError;
 pub use interp::{interpret_cdfg, InterpTrace, Interpreter, WriteEvent};
+pub use nir::NirSim;
 pub use stimulus::Stimulus;
 
 // re-exported so callers can speak the value type without naming hls-ir

@@ -1,12 +1,13 @@
-// Generated by rpp-hls for loop `do_while`
+// do_while: emitted by rpp-hls from the structural netlist
+// 34 cells, 3 folded state(s), 1 pipeline stage(s)
 module do_while (
-  input  wire clk,
-  input  wire rst,
-  input  wire signed [31:0] mask,
-  input  wire signed [31:0] chrome,
-  input  wire signed [31:0] scale,
-  input  wire signed [31:0] th,
-  output reg  signed [31:0] pixel
+  input wire clk,
+  input wire rst,
+  input wire signed [31:0] mask,
+  input wire signed [31:0] chrome,
+  input wire signed [31:0] scale,
+  input wire signed [31:0] th,
+  output reg signed [31:0] pixel
 );
 
   // controller: 3 folded state(s), 1 stage(s)
@@ -18,112 +19,70 @@ module do_while (
       first_iter <= 1'd1;
     end else begin
       state <= (state == 8'd2) ? 8'd0 : state + 8'd1;
-      if (state == 8'd2) first_iter <= first_iter << 1; // follow iteration 0
+      if (state == 8'd2) first_iter <= first_iter << 1; // track iteration 0
     end
   end
 
-  // combinational datapath
-  wire signed [31:0] w_1_aver_loop_mux;
-  wire signed [31:0] w_2_mask_read;
-  wire signed [31:0] w_3_mask_read;
-  wire signed [31:0] w_4_chrome_read;
-  wire signed [31:0] w_5_mul;
-  wire signed [31:0] w_6_add;
-  wire signed [31:0] w_7_th_read;
+  // combinational cells
+  wire signed [0:0] n2;
   wire signed [0:0] w_8_gt;
-  wire signed [31:0] w_9_scale_read;
-  wire signed [31:0] w_10_mul;
-  wire signed [31:0] w_11_aver_mux;
-  wire signed [31:0] w_12_mul;
-  wire signed [0:0] w_14_neq;
-  // fu add1 (add_32x32): ops=1 mux_in0=1 mux_in1=1
-  wire signed [31:0] fu_0_add1_in0;
-  wire signed [31:0] fu_0_add1_in1;
-  assign fu_0_add1_in0 = w_1_aver_loop_mux;
-  assign fu_0_add1_in1 = w_5_mul;
-  wire signed [31:0] fu_0_add1;
-  assign fu_0_add1 = fu_0_add1_in0 + fu_0_add1_in1;
-  assign w_6_add = fu_0_add1;
-  // fu gt1 (gt_32x32): ops=1 mux_in0=1 mux_in1=1
-  wire signed [31:0] fu_1_gt1_in0;
-  wire signed [31:0] fu_1_gt1_in1;
-  assign fu_1_gt1_in0 = v_6_add;
-  assign fu_1_gt1_in1 = v_7_th_read;
-  wire signed [0:0] fu_1_gt1;
-  assign fu_1_gt1 = fu_1_gt1_in0 > fu_1_gt1_in1;
-  assign w_8_gt = fu_1_gt1;
-  // fu mul1 (mul_32x32): ops=3 mux_in0=3 mux_in1=3
-  wire signed [31:0] fu_2_mul1_in0;
-  wire signed [31:0] fu_2_mul1_in1;
-  assign fu_2_mul1_in0 = (state == 8'd0) ? mask : (state == 8'd1) ? v_6_add : v_11_aver_mux;
-  assign fu_2_mul1_in1 = (state == 8'd0) ? chrome : (state == 8'd1) ? v_9_scale_read : v_2_mask_read;
-  wire signed [31:0] fu_2_mul1;
-  assign fu_2_mul1 = fu_2_mul1_in0 * fu_2_mul1_in1;
-  assign w_5_mul = fu_2_mul1;
-  assign w_10_mul = fu_2_mul1;
-  assign w_12_mul = fu_2_mul1;
-  // fu mux21 (mux2_32x32): ops=2 mux_in0=2 mux_in1=2 mux_in2=2
   wire signed [0:0] fu_3_mux21_in0;
+  wire signed [0:0] n9;
+  wire signed [31:0] n12;
+  wire signed [31:0] fu_2_mul1_in0;
+  wire signed [31:0] n17;
+  wire signed [31:0] fu_2_mul1_in1;
+  wire signed [31:0] w_5_mul;
   wire signed [31:0] fu_3_mux21_in1;
   wire signed [31:0] fu_3_mux21_in2;
-  assign fu_3_mux21_in0 = (state == 8'd0) ? first_iter[0] : w_8_gt;
-  assign fu_3_mux21_in1 = (state == 8'd0) ? 1'sd0 : w_10_mul;
-  assign fu_3_mux21_in2 = (state == 8'd0) ? v_11_aver_mux /* @-1 */ : v_6_add;
+  wire signed [0:0] n22;
+  wire signed [31:0] n23;
+  wire signed [31:0] w_1_aver_loop_mux;
+  wire signed [31:0] w_11_aver_mux;
   wire signed [31:0] fu_3_mux21;
-  assign fu_3_mux21 = fu_3_mux21_in0 ? fu_3_mux21_in1 : fu_3_mux21_in2;
-  assign w_1_aver_loop_mux = fu_3_mux21;
-  assign w_11_aver_mux = fu_3_mux21;
-  // fu neq1 (neq_32x1): ops=1 mux_in0=1 mux_in1=1
-  wire signed [31:0] fu_4_neq1_in0;
-  wire signed [0:0] fu_4_neq1_in1;
-  assign fu_4_neq1_in0 = w_5_mul;
-  assign fu_4_neq1_in1 = 1'sd0;
-  wire signed [0:0] fu_4_neq1;
-  assign fu_4_neq1 = fu_4_neq1_in0 != fu_4_neq1_in1;
-  assign w_14_neq = fu_4_neq1;
-  assign w_2_mask_read = mask;
-  assign w_3_mask_read = mask;
-  assign w_4_chrome_read = chrome;
-  assign w_7_th_read = th;
-  assign w_9_scale_read = scale;
+  wire signed [31:0] w_6_add;
+  wire signed [0:0] n31;
+  assign n2 = state == 8'sd0;
+  assign w_8_gt = v_6_add > v_7_th_read;
+  assign fu_3_mux21_in0 = n2 ? first_iter[0] : w_8_gt;
+  assign n9 = state == 8'sd1;
+  assign n12 = n9 ? v_6_add : v_11_aver_mux;
+  assign fu_2_mul1_in0 = n2 ? mask : n12;
+  assign n17 = n9 ? v_9_scale_read : v_2_mask_read;
+  assign fu_2_mul1_in1 = n2 ? chrome : n17;
+  assign w_5_mul = fu_2_mul1_in0 * fu_2_mul1_in1;
+  assign fu_3_mux21_in1 = n2 ? 32'sd0 : w_5_mul;
+  assign fu_3_mux21_in2 = n2 ? v_11_aver_mux : v_6_add;
+  assign n22 = fu_3_mux21_in1;
+  assign n23 = n22;
+  assign w_1_aver_loop_mux = fu_3_mux21_in0 ? n23 : fu_3_mux21_in2;
+  assign w_11_aver_mux = fu_3_mux21_in0 ? fu_3_mux21_in1 : fu_3_mux21_in2;
+  assign fu_3_mux21 = n2 ? w_1_aver_loop_mux : w_11_aver_mux;
+  assign w_6_add = fu_3_mux21 + w_5_mul;
+  assign n31 = state == 8'sd2;
 
-  // datapath value registers
-  reg signed [31:0] v_1_aver_loop_mux;
-  reg signed [31:0] v_2_mask_read;
-  reg signed [31:0] v_3_mask_read;
-  reg signed [31:0] v_4_chrome_read;
-  reg signed [31:0] v_5_mul;
+  // datapath registers
   reg signed [31:0] v_6_add;
   reg signed [31:0] v_7_th_read;
-  reg signed [0:0] v_8_gt;
-  reg signed [31:0] v_9_scale_read;
-  reg signed [31:0] v_10_mul;
   reg signed [31:0] v_11_aver_mux;
-  reg signed [31:0] v_12_mul;
-  reg signed [0:0] v_14_neq;
+  reg signed [31:0] v_9_scale_read;
+  reg signed [31:0] v_2_mask_read;
 
-  // scheduled operations
   always @(posedge clk) begin
-    if (state == 8'd0) begin // original step s1
-      v_1_aver_loop_mux <= w_1_aver_loop_mux; // op: aver_loop_mux on mux21
-      v_2_mask_read <= w_2_mask_read; // op: mask_read on -
-      v_3_mask_read <= w_3_mask_read; // op: mask_read on -
-      v_4_chrome_read <= w_4_chrome_read; // op: chrome_read on -
-      v_5_mul <= w_5_mul; // op: mul on mul1
-      v_6_add <= w_6_add; // op: add on add1
-      v_7_th_read <= w_7_th_read; // op: th_read on -
-      v_9_scale_read <= w_9_scale_read; // op: scale_read on -
-      v_14_neq <= w_14_neq; // op: neq on neq1
-    end
-    if (state == 8'd1) begin // original step s2
-      v_8_gt <= w_8_gt; // op: gt on gt1
-      v_10_mul <= w_10_mul; // op: mul on mul1
-      v_11_aver_mux <= w_11_aver_mux; // op: aver_mux on mux21
-    end
-    if (state == 8'd2) begin // original step s3
-      v_12_mul <= w_12_mul; // op: mul on mul1
-      pixel <= w_12_mul; // op: pixel_write on -
+    if (rst) begin
+      v_6_add <= 32'sd0;
+      v_7_th_read <= 32'sd0;
+      v_11_aver_mux <= 32'sd0;
+      v_9_scale_read <= 32'sd0;
+      v_2_mask_read <= 32'sd0;
+      pixel <= 32'sd0;
+    end else begin
+      if (n2) v_6_add <= w_6_add;
+      if (n2) v_7_th_read <= th;
+      if (n9) v_11_aver_mux <= fu_3_mux21;
+      if (n2) v_9_scale_read <= scale;
+      if (n2) v_2_mask_read <= mask;
+      if (n31) pixel <= w_5_mul;
     end
   end
-
 endmodule

@@ -65,32 +65,42 @@ fn example1_pipelined_ii2_rtl_matches_golden() {
 #[test]
 fn example1_shared_fu_rtl_has_one_multiplier_and_three_way_muxes() {
     // Example 1 with the minimum resource set: ONE multiplier runs all
-    // three multiplications, so the text must contain exactly one `*`
-    // operator, steered through 3-input operand muxes — and the counts in
-    // the emitted `// fu` headers must agree with the binder's statistics.
+    // three multiplications. The sharing is asserted on the netlist object
+    // the RTL is printed from — no grepping of emitted comments.
     let result = Synthesizer::new(paper_example1())
         .clock_ps(1600.0)
         .latency_bounds(1, 3)
+        .verify(50)
         .run()
         .expect("example 1 schedules sequentially");
-    let rtl = &result.rtl;
-    assert_eq!(rtl.matches(" * ").count(), 1, "one physical multiplier");
-    assert!(
-        rtl.contains("// fu mul1 (mul_32x32): ops=3 mux_in0=3 mux_in1=3"),
-        "{rtl}"
-    );
-    // both multiplier ports carry a 3-arm state-steered priority chain
-    assert!(
-        rtl.contains("assign fu_2_mul1_in0 = (state == 8'd0) ?"),
-        "{rtl}"
-    );
-    // header counts match the binder's counted statistics
-    let stats = result.binding_stats();
     assert_eq!(
-        rtl.matches("// fu ").count(),
-        stats.fu_count,
-        "one header per bound unit"
+        result.rtl.matches(" * ").count(),
+        1,
+        "one physical multiplier in the text"
     );
+    let nstats = result.netlist_stats();
+    assert_eq!(nstats.count("mul"), 1, "one multiplier cell: {nstats:?}");
+    // the shared multiplier's ports carry steering muxes; three ops on one
+    // unit need at least two 3-arm chains (2 muxes each)
+    assert!(nstats.count("mux") >= 4, "{nstats:?}");
+    assert!(nstats.regs > 0 && nstats.reg_bits > 0, "{nstats:?}");
+    // the 3-arm chains are already depth-optimal, so rewrites must not
+    // deepen them
+    let report = &result.netlist_rewrites;
+    assert!(
+        report.mux_depth_after <= report.mux_depth_before,
+        "{report:?}"
+    );
+    // the shared-unit names survive into the netlist and the printed text
+    assert!(
+        result
+            .netlist
+            .iter_cells()
+            .any(|(_, c)| c.name.as_deref().is_some_and(|n| n.contains("mul1"))),
+        "mul1 steering nets are named after the unit"
+    );
+    // netlist cell counts agree with the binder's counted statistics
+    let stats = result.binding_stats();
     let mul_fu = result
         .binding
         .fus
@@ -106,4 +116,26 @@ fn example1_shared_fu_rtl_has_one_multiplier_and_three_way_muxes() {
         .map(|m| m.sources.len())
         .sum();
     assert_eq!(mul_mux_inputs, 6, "two 3-input operand muxes on mul1");
+    assert!(stats.shared_fu_count >= 1);
+}
+
+#[test]
+fn deep_sharing_gets_its_steering_chains_rebalanced() {
+    // The 8-point IDCT shares units across many states, producing long
+    // priority-mux spines; the rewrite pipeline must rebuild them as
+    // balanced trees (shallower) without changing observable behaviour
+    // (the run is differentially verified at the netlist level).
+    let result = Synthesizer::from_body(hls::explore::idct8_design())
+        .clock_ps(2000.0)
+        .latency_bounds(1, 16)
+        .verify(30)
+        .run()
+        .expect("idct8 synthesizes and verifies");
+    let report = &result.netlist_rewrites;
+    assert!(report.rebalanced > 0, "{report:?}");
+    assert!(
+        report.mux_depth_after < report.mux_depth_before,
+        "rebalancing must reduce mux depth: {report:?}"
+    );
+    assert!(result.verification.is_some());
 }

@@ -130,6 +130,35 @@ impl BoundDesign {
         counts
     }
 
+    /// Steering fan-in of every functional unit, indexed by
+    /// [`ResourceInstanceId`]: how many operations the FSM steers onto the
+    /// instance — the `n` of the paper's `mux_n` sharing-delay model, and
+    /// the fan-in the static timing analyzer charges on the unit's operand
+    /// trees. 0 for allocated-but-unused instances, 1 for unshared units.
+    pub fn steering_fanins(&self) -> Vec<usize> {
+        self.fus.iter().map(|f| f.ops.len()).collect()
+    }
+
+    /// The widest *physical* operand-mux fan-in of every unit, indexed by
+    /// [`ResourceInstanceId`]: distinct structural sources steered onto any
+    /// one port (1 when no port needs a mux). Never exceeds the unit's
+    /// steering fan-in.
+    pub fn port_fanins(&self) -> Vec<usize> {
+        let mut fanins = vec![1usize; self.fus.len()];
+        for m in &self.muxes {
+            let slot = &mut fanins[m.fu.index()];
+            *slot = (*slot).max(m.sources.len().max(1));
+        }
+        fanins
+    }
+
+    /// The largest sharing-mux fan-in anywhere in the design (0 when no
+    /// operation is bound) — the figure the fan-in lint compares against its
+    /// configured bound.
+    pub fn max_steering_fanin(&self) -> usize {
+        self.steering_fanins().into_iter().max().unwrap_or(0)
+    }
+
     /// One-line summary (`3 FUs (1 shared), 4 regs (40 bits), 2 muxes (6 inputs)`).
     pub fn summary(&self) -> String {
         format!(
@@ -255,6 +284,38 @@ mod tests {
             }
         }
         assert_eq!(bound.stats.fu_count, bound.stats.bound_ops);
+    }
+
+    #[test]
+    fn steering_fanins_expose_the_sharing_structure() {
+        let body = example1();
+        let desc = schedule(&body, SchedulerConfig::sequential(clk(), 1, 3));
+        let bound = bind(&body, &desc).expect("bindable");
+        let fanins = bound.steering_fanins();
+        assert_eq!(fanins.len(), bound.fus.len());
+        // Table 2: the multiplier runs three multiplications
+        let mul_fanin = bound
+            .fus
+            .iter()
+            .zip(&fanins)
+            .filter(|(f, _)| bound.interner.class(f.class) == &ResourceClass::Multiplier)
+            .map(|(_, &n)| n)
+            .max()
+            .unwrap();
+        assert_eq!(mul_fanin, 3);
+        assert_eq!(
+            bound.max_steering_fanin(),
+            fanins.iter().copied().max().unwrap()
+        );
+        // physical port fan-in never exceeds steering fan-in
+        let ports = bound.port_fanins();
+        for (i, &p) in ports.iter().enumerate() {
+            assert!(
+                p <= fanins[i].max(1),
+                "port fan-in {p} > steering {}",
+                fanins[i]
+            );
+        }
     }
 
     #[test]

@@ -914,8 +914,8 @@ mod tests {
             assert_eq!(m.ports.len(), 2);
             assert_eq!(m.fold_states, 2);
             let stats = m.stats();
-            assert_eq!(stats.count("mul"), 1, "one multiplier cell");
-            assert_eq!(stats.count("output"), 1);
+            assert_eq!(stats.count_bin(BinKind::Mul), 1, "one multiplier cell");
+            assert_eq!(stats.outputs(), 1);
             // the write (state 1) reads the mul (state 0) through one
             // chain register
             assert!(stats.regs >= 1);

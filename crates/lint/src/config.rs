@@ -1,0 +1,207 @@
+//! The lint catalog and the analyzer configuration.
+//!
+//! Every check the analyzer performs is named by a [`Lint`] and reports at a
+//! [`Severity`]. The defaults are chosen so that a freshly lowered and
+//! optimized netlist is clean: findings that indicate a broken lowering
+//! (malformed structure, colliding post-sanitize names) deny by default,
+//! residue the rewriter should have removed warns, and style-level findings
+//! (width-truncating resizes) are allowed unless a project opts in.
+
+use std::fmt;
+
+/// How a finding is reported.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The finding is suppressed entirely.
+    Allow,
+    /// The finding appears in the report but does not gate synthesis.
+    Warn,
+    /// The finding appears in the report and fails the synthesis run.
+    Deny,
+}
+
+impl Severity {
+    /// Lower-case keyword (`allow` / `warn` / `deny`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Allow => "allow",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Every check the analyzer can report. See `LINTS.md` at the repository
+/// root for the full catalog with examples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// An equality compare pins the FSM state counter to a value it never
+    /// takes (outside `0..fold_states`).
+    UnreachableFsmState,
+    /// A register cell is written but its value is never read.
+    DeadRegister,
+    /// A mux arm can never be selected (constant or contradictory select).
+    DeadMuxArm,
+    /// A resize narrows its operand, silently dropping high bits.
+    WidthTruncation,
+    /// Two distinct display names sanitize to the same Verilog identifier,
+    /// so the printer silently drops one of them.
+    DuplicateNetName,
+    /// A steering-mux tree fans in more sources than the configured bound.
+    CombFanin,
+    /// A combinational cell computes on constants only — rewrite residue
+    /// the normalizer should have folded.
+    ConstFoldable,
+    /// A register-to-register (or register-to-output) path arrives after
+    /// the clock edge: negative slack under the Figure 8 delay model.
+    SetupViolation,
+    /// The netlist fails structural validation, or disagrees with the
+    /// schedule it claims to implement.
+    MalformedNetlist,
+}
+
+impl Lint {
+    /// Every lint, in catalog order.
+    pub const ALL: [Lint; 9] = [
+        Lint::UnreachableFsmState,
+        Lint::DeadRegister,
+        Lint::DeadMuxArm,
+        Lint::WidthTruncation,
+        Lint::DuplicateNetName,
+        Lint::CombFanin,
+        Lint::ConstFoldable,
+        Lint::SetupViolation,
+        Lint::MalformedNetlist,
+    ];
+
+    /// Kebab-case name used in reports and the JSON serialization.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::UnreachableFsmState => "unreachable-fsm-state",
+            Lint::DeadRegister => "dead-register",
+            Lint::DeadMuxArm => "dead-mux-arm",
+            Lint::WidthTruncation => "width-truncation",
+            Lint::DuplicateNetName => "duplicate-net-name",
+            Lint::CombFanin => "comb-fanin",
+            Lint::ConstFoldable => "const-foldable",
+            Lint::SetupViolation => "setup-violation",
+            Lint::MalformedNetlist => "malformed-netlist",
+        }
+    }
+
+    /// Severity the lint reports at unless overridden by [`LintConfig::set`].
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Lint::MalformedNetlist | Lint::DuplicateNetName => Severity::Deny,
+            Lint::WidthTruncation => Severity::Allow,
+            _ => Severity::Warn,
+        }
+    }
+
+    fn index(self) -> usize {
+        Lint::ALL.iter().position(|&l| l == self).expect("in ALL")
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-lint severity overrides plus the numeric bounds the structural lints
+/// compare against.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintConfig {
+    severities: [Severity; Lint::ALL.len()],
+    /// Largest steering-mux tree fan-in [`Lint::CombFanin`] accepts.
+    pub max_comb_fanin: usize,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        let mut severities = [Severity::Allow; Lint::ALL.len()];
+        for lint in Lint::ALL {
+            severities[lint.index()] = lint.default_severity();
+        }
+        LintConfig {
+            severities,
+            max_comb_fanin: 64,
+        }
+    }
+}
+
+impl LintConfig {
+    /// The default configuration (see [`Lint::default_severity`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The defaults with [`Lint::SetupViolation`] promoted to deny: timing
+    /// becomes a hard gate instead of an advisory report.
+    pub fn deny_timing() -> Self {
+        Self::default().set(Lint::SetupViolation, Severity::Deny)
+    }
+
+    /// Severity the given lint reports at.
+    pub fn severity(&self, lint: Lint) -> Severity {
+        self.severities[lint.index()]
+    }
+
+    /// Overrides one lint's severity.
+    pub fn set(mut self, lint: Lint, severity: Severity) -> Self {
+        self.severities[lint.index()] = severity;
+        self
+    }
+
+    /// Overrides the steering fan-in bound of [`Lint::CombFanin`].
+    pub fn with_max_comb_fanin(mut self, bound: usize) -> Self {
+        self.max_comb_fanin = bound;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_catalog() {
+        let cfg = LintConfig::default();
+        assert_eq!(cfg.severity(Lint::MalformedNetlist), Severity::Deny);
+        assert_eq!(cfg.severity(Lint::DuplicateNetName), Severity::Deny);
+        assert_eq!(cfg.severity(Lint::SetupViolation), Severity::Warn);
+        assert_eq!(cfg.severity(Lint::WidthTruncation), Severity::Allow);
+        assert_eq!(cfg.max_comb_fanin, 64);
+    }
+
+    #[test]
+    fn overrides_apply_per_lint() {
+        let cfg = LintConfig::new()
+            .set(Lint::DeadRegister, Severity::Deny)
+            .with_max_comb_fanin(8);
+        assert_eq!(cfg.severity(Lint::DeadRegister), Severity::Deny);
+        assert_eq!(cfg.severity(Lint::DeadMuxArm), Severity::Warn);
+        assert_eq!(cfg.max_comb_fanin, 8);
+        let timing = LintConfig::deny_timing();
+        assert_eq!(timing.severity(Lint::SetupViolation), Severity::Deny);
+    }
+
+    #[test]
+    fn names_are_kebab_case_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for lint in Lint::ALL {
+            assert!(seen.insert(lint.name()), "{lint} duplicated");
+            assert!(lint
+                .name()
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

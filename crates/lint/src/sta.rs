@@ -1,0 +1,666 @@
+//! Cell-level static timing analysis over a validated netlist.
+//!
+//! The analyzer replays the paper's Figure 8 delay model on the *lowered*
+//! netlist instead of the scheduler's operation chains: every value launched
+//! from a register (or a registered source such as an input port or a
+//! controller bit) starts at the flip-flop clock-to-Q delay, combinational
+//! cells add their Table 1 functional-unit delay, and every path ends at a
+//! register or output-port endpoint with the flip-flop setup time.
+//!
+//! ## Steering trees are charged by fan-in, not by depth
+//!
+//! The lowering expresses an `n`-way sharing multiplexer as a chain of
+//! 2-way [`CellKind::Mux`] cells. Physically that chain is one `mux_n`
+//! (synthesis rebalances it into a tree), and the paper's model prices it as
+//! such: `mux2` = 110 ps, `mux3` = 115 ps, ~5 ps per further tree level —
+//! not 110 ps per chained element. The analyzer therefore computes each mux
+//! subtree's *leaf fan-in* and charges [`ChainTiming::mux_tree_delay_ps`]
+//! once at the point where the tree's value is consumed by a non-mux cell;
+//! inner tree cells are transparent. A select the current state resolves
+//! statically is a registered Moore output of the controller and launches at
+//! clock-to-Q; a data-dependent select (a predicate computed this cycle)
+//! contributes its full combinational arrival.
+//!
+//! ## The analysis is mode-aware: one pass per folded state
+//!
+//! In a shared-FU netlist the steering selects are `fsm == k` compares, so a
+//! purely topological walk would chase *temporally false* paths: the
+//! multiplier's state-2 result into the adder's state-3 steering arm looks
+//! like one combinational path even though no single cycle exercises it.
+//! The analyzer instead evaluates the control network once per folded state
+//! (the state counter pinned to `k`, constants folded through the guard
+//! logic), restricts every mux whose select is then statically known to its
+//! selected arm, skips register/output endpoints whose enable is statically
+//! false in that state, and reports each endpoint's worst arrival over all
+//! states. Selects that stay unknown — stage-valid bits, data-dependent
+//! predicates — keep both arms, which is the conservative direction.
+
+use hls_ir::CmpKind;
+use hls_netlist::ChainTiming;
+use hls_nir::{BinKind, CellId, CellKind, NirModule, UnKind};
+
+/// One cell on the critical path, with its contribution to the path delay.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathStep {
+    /// The cell.
+    pub cell: CellId,
+    /// Display name (the lowering-assigned net name, or `%id`).
+    pub name: String,
+    /// Cell-kind mnemonic (`mul`, `mux`, `reg`, ...).
+    pub kind: &'static str,
+    /// Output width of the cell.
+    pub width: u16,
+    /// Steering-tree leaf fan-in (1 for non-mux cells; for a mux, the number
+    /// of data leaves of the subtree rooted here).
+    pub fanin: usize,
+    /// Delay this step adds to the path, in picoseconds. Steps telescope:
+    /// the sum of all increments equals the endpoint arrival.
+    pub incr_ps: f64,
+    /// Path arrival time at this step's output, in picoseconds.
+    pub arrival_ps: f64,
+}
+
+/// One timing endpoint: a register or output-port cell where a
+/// combinational path is captured.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingEndpoint {
+    /// The capturing cell.
+    pub cell: CellId,
+    /// Display name of the capturing cell.
+    pub name: String,
+    /// Total path delay into this endpoint (arrival + setup), picoseconds.
+    pub delay_ps: f64,
+    /// Slack against the clock; negative means a setup violation.
+    pub slack_ps: f64,
+}
+
+/// Whole-netlist timing summary: worst slack, total negative slack and the
+/// named critical path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimingSummary {
+    /// Clock period the slacks are measured against, picoseconds.
+    pub clock_ps: f64,
+    /// Worst negative slack — the smallest endpoint slack (positive when
+    /// every path meets the clock).
+    pub wns_ps: f64,
+    /// Total negative slack: the sum of all negative endpoint slacks
+    /// (0 when timing is met).
+    pub tns_ps: f64,
+    /// Every endpoint, sorted worst-slack first.
+    pub endpoints: Vec<TimingEndpoint>,
+    /// The worst path, launch to capture; empty when the netlist has no
+    /// endpoints.
+    pub critical_path: Vec<PathStep>,
+}
+
+impl TimingSummary {
+    /// Delay of the worst path (0 when there are no endpoints).
+    pub fn critical_delay_ps(&self) -> f64 {
+        self.endpoints.first().map(|e| e.delay_ps).unwrap_or(0.0)
+    }
+
+    /// Whether every endpoint meets the clock.
+    pub fn meets_clock(&self) -> bool {
+        self.wns_ps >= 0.0
+    }
+
+    /// The critical path as a one-line `a -> b -> c` rendering.
+    pub fn critical_path_names(&self) -> String {
+        self.critical_path
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    }
+}
+
+/// Display name of a cell: its lowering-assigned name, or `%id`.
+pub(crate) fn cell_name(m: &NirModule, id: CellId) -> String {
+    m.cell(id).name.clone().unwrap_or_else(|| format!("{id}"))
+}
+
+/// Steering-tree leaf fan-in per cell: 1 for non-mux cells; for a mux, the
+/// number of data leaves of the 2-way-mux subtree rooted at it (an arm that
+/// is itself a mux contributes its own fan-in, any other arm is one leaf).
+pub(crate) fn mux_fanins(m: &NirModule) -> Vec<usize> {
+    let mut fanin = vec![1usize; m.num_cells()];
+    // Arena order is not topological, so walk the validated topo order.
+    for id in m.comb_topo_order() {
+        let cell = m.cell(id);
+        if let CellKind::Mux { .. } = cell.kind {
+            let arm = |x: CellId| match m.cell(x).kind {
+                CellKind::Mux { .. } => fanin[x.index()],
+                _ => 1,
+            };
+            fanin[id.index()] = arm(cell.inputs[1]) + arm(cell.inputs[2]);
+        }
+    }
+    fanin
+}
+
+/// Statically-known cell values with the FSM state counter pinned to
+/// `fsm_state` (or left free with `None`): constants, the counter itself,
+/// and control logic folded over them. `None` per cell means unknown.
+///
+/// This deliberately covers only the shapes the lowering builds guards from
+/// — `fsm == k` compares and `and`/`or`/`not` folds — plus enough mux/xor
+/// propagation to chase a resolved select through derived control.
+pub(crate) fn known_values(m: &NirModule, fsm_state: Option<u64>) -> Vec<Option<u64>> {
+    let mask = |v: u64, w: u16| {
+        if w >= 64 {
+            v
+        } else {
+            v & ((1u64 << w) - 1)
+        }
+    };
+    let mut known: Vec<Option<u64>> = vec![None; m.num_cells()];
+    for id in m.comb_topo_order() {
+        let cell = m.cell(id);
+        let w = cell.width;
+        let input = |k: usize| known[cell.inputs[k].index()];
+        known[id.index()] = match &cell.kind {
+            CellKind::Const(v) => Some(mask(*v as u64, w)),
+            CellKind::FsmState => fsm_state.map(|s| mask(s, w)),
+            // Timing is analyzed at steady-state occupancy: every pipeline
+            // stage valid, so steering is governed by the folded state
+            // alone. Paths that appear only under partial occupancy carry
+            // don't-care values (the consumer's capture is stage-gated).
+            CellKind::StageValid { .. } => Some(1),
+            CellKind::Bin(BinKind::And) => match (input(0), input(1)) {
+                (Some(0), _) | (_, Some(0)) => Some(0),
+                (Some(a), Some(b)) => Some(a & b),
+                _ => None,
+            },
+            CellKind::Bin(BinKind::Or) => match (input(0), input(1)) {
+                (Some(a), _) if a == mask(u64::MAX, w) => Some(a),
+                (_, Some(b)) if b == mask(u64::MAX, w) => Some(b),
+                (Some(a), Some(b)) => Some(a | b),
+                _ => None,
+            },
+            CellKind::Bin(BinKind::Xor) => match (input(0), input(1)) {
+                (Some(a), Some(b)) => Some(a ^ b),
+                _ => None,
+            },
+            CellKind::Bin(BinKind::Cmp(CmpKind::Eq)) => match (input(0), input(1)) {
+                (Some(a), Some(b)) => Some(u64::from(a == b)),
+                _ => None,
+            },
+            CellKind::Bin(BinKind::Cmp(CmpKind::Ne)) => match (input(0), input(1)) {
+                (Some(a), Some(b)) => Some(u64::from(a != b)),
+                _ => None,
+            },
+            CellKind::Un(UnKind::Not) => input(0).map(|a| mask(!a, w)),
+            CellKind::Mux { .. } => match input(0) {
+                Some(sel) => input(if sel != 0 { 1 } else { 2 }),
+                None => None,
+            },
+            _ => None,
+        };
+    }
+    known
+}
+
+/// One state's arrival-time pass: per cell, the arrival at its output
+/// (`val`), the arrival before the mux-tree charge (`base`), and the worst
+/// predecessor with the value it contributed (for path recovery).
+struct TimingPass {
+    val: Vec<f64>,
+    pred: Vec<Option<CellId>>,
+    pred_val: Vec<f64>,
+}
+
+fn timing_pass(
+    m: &NirModule,
+    timing: &mut ChainTiming,
+    fanin: &[usize],
+    known: &[Option<u64>],
+) -> TimingPass {
+    let n = m.num_cells();
+    let launch = timing.register_arrival_ps();
+    let mut val = vec![0.0f64; n];
+    let mut base = vec![0.0f64; n];
+    let mut pred: Vec<Option<CellId>> = vec![None; n];
+    let mut pred_val = vec![0.0f64; n];
+
+    for id in m.comb_topo_order() {
+        let cell = m.cell(id);
+        let i = id.index();
+        if cell.kind.is_seq() || matches!(cell.kind, CellKind::Input { .. }) {
+            // Registers and port samples launch from a flip-flop.
+            val[i] = launch;
+            base[i] = launch;
+            continue;
+        }
+        if cell.kind.is_source() {
+            // Controller bits are registers in the emitted RTL; constants
+            // are static.
+            let a = match cell.kind {
+                CellKind::Const(_) => 0.0,
+                _ => launch,
+            };
+            val[i] = a;
+            base[i] = a;
+            continue;
+        }
+        if let CellKind::Mux { .. } = cell.kind {
+            // Candidate arrivals: the select, each *active* arm at its base
+            // when the arm is an inner tree cell (its own tree charge is
+            // subsumed by this root's fan-in charge). A select resolved by
+            // the current state restricts the candidates to the selected
+            // arm — the other arm is a different state's path — and counts
+            // as a registered control line: per the paper's model the
+            // steering decode is a Moore output of the controller, so it
+            // launches at clock-to-Q rather than re-tracing the state
+            // compare logic. Data-dependent selects (predicates computed
+            // this cycle) keep their full combinational arrival.
+            let sel = cell.inputs[0];
+            let resolved = known[sel.index()].is_some();
+            let sel_arrival = if resolved { launch } else { val[sel.index()] };
+            let arms: &[CellId] = match known[sel.index()] {
+                Some(s) => {
+                    let picked = if s != 0 { 1 } else { 2 };
+                    &cell.inputs[picked..=picked]
+                }
+                None => &cell.inputs[1..],
+            };
+            let mut best: Option<(CellId, f64)> = None;
+            for &armed in arms {
+                let v = match m.cell(armed).kind {
+                    CellKind::Mux { .. } => base[armed.index()],
+                    _ => val[armed.index()],
+                };
+                if best.map(|(_, b)| v > b).unwrap_or(true) {
+                    best = Some((armed, v));
+                }
+            }
+            let (mut bp, mut bv) = best.expect("muxes have at least one active arm");
+            if sel_arrival > bv {
+                (bp, bv) = (sel, sel_arrival);
+            }
+            base[i] = bv;
+            val[i] = bv + timing.mux_tree_delay_ps(fanin[i], cell.width);
+            // A winning *resolved* select has no meaningful predecessor
+            // chain (its combinational decode is not what launches the
+            // path), so the path starts here, at the control register.
+            pred[i] = (bp != sel || !resolved).then_some(bp);
+            pred_val[i] = bv;
+            continue;
+        }
+        // Plain combinational cell (including Output sinks, whose own
+        // "delay" is zero — the setup charge is added at the endpoint).
+        let mut best: Option<(CellId, f64)> = None;
+        for &input in &cell.inputs {
+            let v = val[input.index()];
+            if best.map(|(_, b)| v > b).unwrap_or(true) {
+                best = Some((input, v));
+            }
+        }
+        let in_widths: Vec<u16> = cell.inputs.iter().map(|&x| m.cell(x).width).collect();
+        let delay = timing.cell_delay_ps(&cell.kind, &in_widths, cell.width);
+        let (p, b) = best.unwrap_or((id, 0.0));
+        val[i] = b + delay;
+        base[i] = val[i];
+        if p != id {
+            pred[i] = Some(p);
+            pred_val[i] = b;
+        }
+    }
+
+    TimingPass {
+        val,
+        pred,
+        pred_val,
+    }
+}
+
+/// The capturing endpoint's worst input in one state's pass: every register
+/// and output-port cell captures `max(data, enable)` plus the flip-flop
+/// setup. The lowering registers producers directly (no register-input
+/// mux), so no mux charge is added here.
+fn endpoint_arrival(m: &NirModule, pass: &TimingPass, id: CellId) -> (Option<CellId>, f64) {
+    let mut best: Option<(CellId, f64)> = None;
+    for &input in &m.cell(id).inputs {
+        let v = pass.val[input.index()];
+        if best.map(|(_, b)| v > b).unwrap_or(true) {
+            best = Some((input, v));
+        }
+    }
+    match best {
+        Some((p, arrival)) => (Some(p), arrival),
+        None => (None, 0.0),
+    }
+}
+
+/// Whether an endpoint can capture in the current state: its enable operand
+/// is not statically false. Register and output cells carry the enable as
+/// their second input.
+fn endpoint_active(m: &NirModule, known: &[Option<u64>], id: CellId) -> bool {
+    match m.cell(id).inputs.get(1) {
+        Some(en) => known[en.index()] != Some(0),
+        None => true,
+    }
+}
+
+/// Runs the analysis. The module must be [`hls_nir::validate`]-clean;
+/// combinational cycles would silently truncate the topological order.
+pub fn analyze_timing(m: &NirModule, timing: &mut ChainTiming) -> TimingSummary {
+    let n = m.num_cells();
+    let fanin = mux_fanins(m);
+    let setup = timing.setup_ps();
+    let clock = timing.clock();
+
+    // One pass per folded state; a netlist without a folded controller
+    // (pipelined II=1 or fully combinational) gets a single free pass.
+    let states: Vec<Option<u64>> = if m.fold_states > 1 {
+        (0..m.fold_states).map(|k| Some(u64::from(k))).collect()
+    } else {
+        vec![None]
+    };
+
+    // Per endpoint cell: the worst (arrival, state index) over all states
+    // in which the endpoint's enable can be true.
+    let mut worst: Vec<Option<(f64, usize)>> = vec![None; n];
+    for (si, &st) in states.iter().enumerate() {
+        let known = known_values(m, st);
+        let pass = timing_pass(m, timing, &fanin, &known);
+        for (id, cell) in m.iter_cells() {
+            if !matches!(cell.kind, CellKind::Reg { .. } | CellKind::Output { .. }) {
+                continue;
+            }
+            if !endpoint_active(m, &known, id) {
+                continue;
+            }
+            let (_, arrival) = endpoint_arrival(m, &pass, id);
+            if worst[id.index()].map(|(a, _)| arrival > a).unwrap_or(true) {
+                worst[id.index()] = Some((arrival, si));
+            }
+        }
+    }
+
+    let mut endpoints = Vec::new();
+    for (id, cell) in m.iter_cells() {
+        if !matches!(cell.kind, CellKind::Reg { .. } | CellKind::Output { .. }) {
+            continue;
+        }
+        // An endpoint inactive in every state never captures; report it at
+        // the setup floor rather than dropping it from the summary.
+        let arrival = worst[id.index()].map(|(a, _)| a).unwrap_or(0.0);
+        let delay = arrival + setup;
+        endpoints.push(TimingEndpoint {
+            cell: id,
+            name: cell_name(m, id),
+            delay_ps: delay,
+            slack_ps: clock.slack_ps(delay),
+        });
+    }
+    endpoints.sort_by(|a, b| {
+        a.slack_ps
+            .partial_cmp(&b.slack_ps)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cell.cmp(&b.cell))
+    });
+
+    let wns_ps = endpoints
+        .first()
+        .map(|e| e.slack_ps)
+        .unwrap_or_else(|| clock.usable_period_ps());
+    let tns_ps = endpoints.iter().map(|e| e.slack_ps.min(0.0)).sum::<f64>();
+
+    // Recover the worst path by re-running the winning endpoint's state and
+    // walking the recorded predecessors, carrying the value each link
+    // actually contributed so increments telescope.
+    let mut critical_path = Vec::new();
+    if let Some(worst_ep) = endpoints.first() {
+        let e = worst_ep.cell;
+        let si = worst[e.index()].map(|(_, s)| s).unwrap_or(0);
+        let known = known_values(m, states[si]);
+        let pass = timing_pass(m, timing, &fanin, &known);
+        let (end_pred, _) = endpoint_arrival(m, &pass, e);
+        let cell = m.cell(e);
+        let mut cursor = end_pred.filter(|&p| p != e);
+        let upstream = cursor.map(|p| pass.val[p.index()]).unwrap_or(0.0);
+        critical_path.push(PathStep {
+            cell: e,
+            name: cell_name(m, e),
+            kind: cell.kind.mnemonic(),
+            width: cell.width,
+            fanin: 1,
+            incr_ps: worst_ep.delay_ps - upstream,
+            arrival_ps: worst_ep.delay_ps,
+        });
+        let mut carried = upstream;
+        while let Some(id) = cursor {
+            let i = id.index();
+            let cell = m.cell(id);
+            let from = pass.pred[i].map(|_| pass.pred_val[i]).unwrap_or(0.0);
+            critical_path.push(PathStep {
+                cell: id,
+                name: cell_name(m, id),
+                kind: cell.kind.mnemonic(),
+                width: cell.width,
+                fanin: fanin[i],
+                incr_ps: carried - from,
+                arrival_ps: carried,
+            });
+            carried = from;
+            cursor = pass.pred[i];
+        }
+        critical_path.reverse();
+    }
+
+    TimingSummary {
+        clock_ps: clock.period_ps(),
+        wns_ps,
+        tns_ps,
+        endpoints,
+        critical_path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_ir::{Port, PortDirection};
+    use hls_nir::{validate, BinKind, Cell, NirModule};
+    use hls_tech::{ClockConstraint, TechLibrary};
+
+    fn timing(period: f64) -> (TechLibrary, ClockConstraint) {
+        (
+            TechLibrary::artisan_90nm_typical(),
+            ClockConstraint::from_period_ps(period),
+        )
+    }
+
+    fn named(
+        m: &mut NirModule,
+        kind: CellKind,
+        width: u16,
+        inputs: Vec<CellId>,
+        name: &str,
+    ) -> CellId {
+        m.add_cell(Cell {
+            kind,
+            width,
+            inputs,
+            name: Some(name.to_string()),
+        })
+    }
+
+    /// reg -> mul -> add -> reg: 40 + 930 + 350 + 40 = 1360 ps.
+    #[test]
+    fn chained_mul_add_matches_figure8_arithmetic() {
+        let mut m = NirModule::new("chain");
+        let en = m.push(CellKind::Const(1), 1, vec![]);
+        let a = named(&mut m, CellKind::Reg { init: 0 }, 32, vec![], "a");
+        m.cells[a.index()].inputs = vec![a, en];
+        let b = named(&mut m, CellKind::Reg { init: 0 }, 32, vec![a, en], "b");
+        let p = named(&mut m, CellKind::Bin(BinKind::Mul), 32, vec![a, b], "p");
+        let s = named(&mut m, CellKind::Bin(BinKind::Add), 32, vec![p, b], "s");
+        let r = named(&mut m, CellKind::Reg { init: 0 }, 32, vec![s, en], "r");
+        validate(&m).expect("well-formed");
+        let (lib, clock) = timing(1600.0);
+        let mut t = ChainTiming::new(&lib, clock);
+        let summary = analyze_timing(&m, &mut t);
+        assert!(
+            (summary.critical_delay_ps() - 1360.0).abs() < 0.1,
+            "{summary:?}"
+        );
+        assert!((summary.wns_ps - 240.0).abs() < 0.1);
+        assert_eq!(summary.tns_ps, 0.0);
+        let worst = &summary.endpoints[0];
+        assert_eq!(worst.cell, r);
+        // the path names every cell, launch to capture
+        let names: Vec<&str> = summary
+            .critical_path
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert!(names.ends_with(&["p", "s", "r"]), "{names:?}");
+        // increments telescope to the endpoint delay
+        let total: f64 = summary.critical_path.iter().map(|s| s.incr_ps).sum();
+        assert!((total - worst.delay_ps).abs() < 1e-9);
+        assert!(summary.critical_path_names().contains("->"));
+    }
+
+    /// A 4-leaf steering chain is one mux4 (120 ps), not three mux2s.
+    #[test]
+    fn steering_chains_are_charged_as_one_tree() {
+        let mut m = NirModule::new("steer");
+        let en = m.push(CellKind::Const(1), 1, vec![]);
+        let sel = m.push(CellKind::Const(1), 1, vec![]);
+        let mut leaves = Vec::new();
+        for i in 0..4 {
+            let r = named(
+                &mut m,
+                CellKind::Reg { init: 0 },
+                32,
+                vec![],
+                &format!("l{i}"),
+            );
+            m.cells[r.index()].inputs = vec![r, en];
+            leaves.push(r);
+        }
+        let m1 = m.push(
+            CellKind::Mux { onehot: true },
+            32,
+            vec![sel, leaves[0], leaves[1]],
+        );
+        let m2 = m.push(CellKind::Mux { onehot: true }, 32, vec![sel, leaves[2], m1]);
+        let m3 = m.push(CellKind::Mux { onehot: true }, 32, vec![sel, leaves[3], m2]);
+        let cap = named(&mut m, CellKind::Reg { init: 0 }, 32, vec![m3, en], "cap");
+        validate(&m).expect("well-formed");
+        let fans = mux_fanins(&m);
+        assert_eq!(fans[m1.index()], 2);
+        assert_eq!(fans[m2.index()], 3);
+        assert_eq!(fans[m3.index()], 4);
+        let (lib, clock) = timing(1600.0);
+        let mut t = ChainTiming::new(&lib, clock);
+        let expected = t.register_arrival_ps() + t.mux_tree_delay_ps(4, 32) + t.setup_ps();
+        let summary = analyze_timing(&m, &mut t);
+        assert_eq!(summary.endpoints[0].cell, cap);
+        assert!(
+            (summary.critical_delay_ps() - expected).abs() < 0.1,
+            "got {} want {expected}",
+            summary.critical_delay_ps()
+        );
+        // depth-based charging would have been 40 + 3*110 + 40 = 410;
+        // fan-in charging gives 40 + mux4 (115) + 40 = 195.
+        assert!(summary.critical_delay_ps() < 210.0);
+    }
+
+    /// An output port is an endpoint; a tight clock produces negative slack.
+    #[test]
+    fn output_endpoints_and_negative_slack() {
+        let mut m = NirModule::new("out");
+        m.ports.push(Port {
+            name: "y".into(),
+            direction: PortDirection::Output,
+            width: 32,
+        });
+        let en = m.push(CellKind::Const(1), 1, vec![]);
+        let r = named(&mut m, CellKind::Reg { init: 0 }, 32, vec![], "r");
+        m.cells[r.index()].inputs = vec![r, en];
+        let p = named(&mut m, CellKind::Bin(BinKind::Mul), 32, vec![r, r], "p");
+        m.push(CellKind::Output { port: 0, state: 0 }, 32, vec![p, en]);
+        validate(&m).expect("well-formed");
+        let (lib, clock) = timing(500.0);
+        let mut t = ChainTiming::new(&lib, clock);
+        let summary = analyze_timing(&m, &mut t);
+        // 40 + 930 + 40 = 1010 ps against a 500 ps clock
+        assert!((summary.critical_delay_ps() - 1010.0).abs() < 0.1);
+        assert!((summary.wns_ps + 510.0).abs() < 0.1);
+        assert!((summary.tns_ps + 510.0).abs() < 0.1);
+        assert!(!summary.meets_clock());
+    }
+
+    /// A mux steered by an FSM-state compare only exposes each arm in the
+    /// state that selects it, and an endpoint whose enable is false in a
+    /// state ignores that state's arrivals — the cross-state "multiplier
+    /// feeds next state's adder" path is temporally false and must not be
+    /// reported. A data-dependent select keeps both arms (conservative).
+    #[test]
+    fn cross_state_false_paths_are_pruned() {
+        let build = |data_dependent_select: bool| {
+            let mut m = NirModule::new("modes");
+            m.fold_states = 2;
+            let fsm = m.push(CellKind::FsmState, 8, vec![]);
+            let k0 = m.push(CellKind::Const(0), 8, vec![]);
+            let eq0 = m.push(
+                CellKind::Bin(BinKind::Cmp(hls_ir::CmpKind::Eq)),
+                1,
+                vec![fsm, k0],
+            );
+            let sel = if data_dependent_select {
+                // an unresolvable mode bit: the analyzer must keep both arms
+                m.push(CellKind::FirstIter { stage: 0 }, 1, vec![])
+            } else {
+                eq0
+            };
+            let r = named(&mut m, CellKind::Reg { init: 0 }, 32, vec![], "r");
+            m.cells[r.index()].inputs = vec![r, eq0];
+            let p = named(&mut m, CellKind::Bin(BinKind::Mul), 32, vec![r, r], "p");
+            // state 0 selects the register, state 1 the multiplier — but the
+            // capture register is enabled in state 0 only.
+            let d = m.push(CellKind::Mux { onehot: false }, 32, vec![sel, r, p]);
+            named(&mut m, CellKind::Reg { init: 0 }, 32, vec![d, eq0], "cap");
+            validate(&m).expect("well-formed");
+            m
+        };
+        let (lib, clock) = timing(1600.0);
+        // resolved select: only state 0's reg -> mux2 -> cap path counts
+        let pruned = analyze_timing(&build(false), &mut ChainTiming::new(&lib, clock));
+        let mut t = ChainTiming::new(&lib, clock);
+        let short = t.register_arrival_ps() + t.mux_tree_delay_ps(2, 32) + t.setup_ps();
+        assert!(
+            (pruned.critical_delay_ps() - short).abs() < 0.1,
+            "got {} want {short}",
+            pruned.critical_delay_ps()
+        );
+        // data-dependent select: the multiplier arm stays in
+        let kept = analyze_timing(&build(true), &mut ChainTiming::new(&lib, clock));
+        let long = t.register_arrival_ps()
+            + t.cell_delay_ps(&CellKind::Bin(BinKind::Mul), &[32, 32], 32)
+            + t.mux_tree_delay_ps(2, 32)
+            + t.setup_ps();
+        assert!(
+            (kept.critical_delay_ps() - long).abs() < 0.1,
+            "got {} want {long}",
+            kept.critical_delay_ps()
+        );
+    }
+
+    /// The analysis is a pure function of the module.
+    #[test]
+    fn analysis_is_deterministic() {
+        let mut m = NirModule::new("det");
+        let en = m.push(CellKind::Const(1), 1, vec![]);
+        let r = named(&mut m, CellKind::Reg { init: 0 }, 16, vec![], "r");
+        m.cells[r.index()].inputs = vec![r, en];
+        let s = named(&mut m, CellKind::Bin(BinKind::Add), 16, vec![r, r], "s");
+        let _cap = named(&mut m, CellKind::Reg { init: 0 }, 16, vec![s, en], "cap");
+        let (lib, clock) = timing(1600.0);
+        let a = analyze_timing(&m, &mut ChainTiming::new(&lib, clock));
+        let b = analyze_timing(&m, &mut ChainTiming::new(&lib, clock));
+        assert_eq!(a, b);
+    }
+}

@@ -13,7 +13,8 @@
 //! and setup time.
 
 use hls_ir::OpId;
-use hls_tech::{ClockConstraint, ResourceType, TechLibrary};
+use hls_nir::{BinKind, CellKind, UnKind};
+use hls_tech::{ClockConstraint, ResourceClass, ResourceType, TechLibrary};
 use std::collections::HashMap;
 
 /// Cached path-delay calculator.
@@ -109,6 +110,74 @@ impl<'a> ChainTiming<'a> {
     /// Whether a completed path meets the clock.
     pub fn meets_clock(&self, arrival_ps: f64, width: u16) -> bool {
         self.slack_ps(arrival_ps, width) >= 0.0
+    }
+
+    /// Flip-flop setup time: the capture cost charged at every
+    /// register-input (or output-port) timing endpoint.
+    pub fn setup_ps(&self) -> f64 {
+        self.lib.register_setup_ps()
+    }
+
+    /// Delay of an `n`-leaf steering-mux tree of the given data width — the
+    /// paper's per-fan-in sharing-mux cost (mux2 = 110 ps, mux3 = 115 ps,
+    /// ~5 ps per further tree level). Fan-ins below 2 cost nothing; fan-ins
+    /// beyond 255 saturate at the 255-input figure.
+    pub fn mux_tree_delay_ps(&self, fanin: usize, width: u16) -> f64 {
+        if fanin <= 1 {
+            0.0
+        } else {
+            self.lib
+                .mux_delay_ps(fanin.min(u8::MAX as usize) as u8, width)
+        }
+    }
+
+    /// Combinational delay of one netlist cell, costed through the same
+    /// library figures the scheduler's chaining model uses. `in_widths` are
+    /// the operand widths (as found on the cell's operand cells), `out` the
+    /// cell's own width. Sources and registers have no *combinational*
+    /// delay — their launch cost is [`ChainTiming::register_arrival_ps`] —
+    /// and wiring-only cells (slice/resize) are free. Multiplexers are
+    /// costed at fan-in 2 here; chain/tree fan-in is the analyzer's job
+    /// (see [`ChainTiming::mux_tree_delay_ps`]).
+    pub fn cell_delay_ps(&mut self, kind: &CellKind, in_widths: &[u16], out: u16) -> f64 {
+        let a = in_widths.first().copied().unwrap_or(out).max(1);
+        let b = in_widths.get(1).copied().unwrap_or(a).max(1);
+        let out = out.max(1);
+        let ty = match kind {
+            CellKind::Bin(op) => {
+                let class = match op {
+                    BinKind::Add | BinKind::Sub => ResourceClass::Adder,
+                    BinKind::Mul => ResourceClass::Multiplier,
+                    BinKind::Div | BinKind::Rem => ResourceClass::Divider,
+                    BinKind::And | BinKind::Or | BinKind::Xor => ResourceClass::Logic,
+                    BinKind::Shl | BinKind::Shr => ResourceClass::Shifter,
+                    BinKind::Cmp(hls_ir::CmpKind::Eq | hls_ir::CmpKind::Ne) => {
+                        ResourceClass::EqualityComparator
+                    }
+                    BinKind::Cmp(_) => ResourceClass::Comparator,
+                };
+                ResourceType::binary(class, a, b, out)
+            }
+            CellKind::Un(op) => {
+                let class = match op {
+                    UnKind::Not => ResourceClass::Logic,
+                    UnKind::Neg => ResourceClass::Adder,
+                };
+                ResourceType::unary(class, a, out)
+            }
+            CellKind::Mux { .. } => return self.mux_tree_delay_ps(2, out),
+            // Wiring, sources and clocked cells: no combinational delay.
+            CellKind::Slice { .. }
+            | CellKind::Resize
+            | CellKind::Const(_)
+            | CellKind::Input { .. }
+            | CellKind::Output { .. }
+            | CellKind::Reg { .. }
+            | CellKind::FsmState
+            | CellKind::StageValid { .. }
+            | CellKind::FirstIter { .. } => return 0.0,
+        };
+        self.resource_delay_ps(&ty)
     }
 
     /// Arrival time at the output of an operation chained after its inputs:
@@ -290,6 +359,61 @@ mod tests {
         let a = t.resource_delay_ps(&mul);
         let b = t.resource_delay_ps(&mul);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cell_delays_match_the_table1_resources() {
+        let (lib, clock) = setup();
+        let mut t = ChainTiming::new(&lib, clock);
+        let mul = t.cell_delay_ps(&CellKind::Bin(BinKind::Mul), &[32, 32], 32);
+        assert!((mul - 930.0).abs() < 1.0, "got {mul}");
+        let add = t.cell_delay_ps(&CellKind::Bin(BinKind::Add), &[32, 32], 32);
+        assert!((add - 350.0).abs() < 1.0, "got {add}");
+        let gt = t.cell_delay_ps(
+            &CellKind::Bin(BinKind::Cmp(hls_ir::CmpKind::Gt)),
+            &[32, 32],
+            1,
+        );
+        assert!((gt - 220.0).abs() < 1.0, "got {gt}");
+        let neq = t.cell_delay_ps(
+            &CellKind::Bin(BinKind::Cmp(hls_ir::CmpKind::Ne)),
+            &[32, 32],
+            1,
+        );
+        assert!((neq - 60.0).abs() < 1.0, "got {neq}");
+        // wiring is free, sources and registers carry no combinational delay
+        assert_eq!(t.cell_delay_ps(&CellKind::Resize, &[8], 16), 0.0);
+        assert_eq!(
+            t.cell_delay_ps(&CellKind::Slice { hi: 3, lo: 0 }, &[8], 4),
+            0.0
+        );
+        assert_eq!(t.cell_delay_ps(&CellKind::Reg { init: 0 }, &[8, 1], 8), 0.0);
+        assert_eq!(t.cell_delay_ps(&CellKind::Const(7), &[], 8), 0.0);
+        // a unary negation runs on adder hardware
+        let neg = t.cell_delay_ps(&CellKind::Un(UnKind::Neg), &[32], 32);
+        assert!((neg - 350.0).abs() < 1.0, "got {neg}");
+    }
+
+    #[test]
+    fn mux_tree_delay_follows_fanin() {
+        let (lib, clock) = setup();
+        let t = ChainTiming::new(&lib, clock);
+        assert_eq!(t.mux_tree_delay_ps(0, 32), 0.0);
+        assert_eq!(t.mux_tree_delay_ps(1, 32), 0.0);
+        let m2 = t.mux_tree_delay_ps(2, 32);
+        assert!((m2 - 110.0).abs() < 1.0, "got {m2}");
+        let m3 = t.mux_tree_delay_ps(3, 32);
+        assert!((m3 - 115.0).abs() < 1.0, "got {m3}");
+        let m8 = t.mux_tree_delay_ps(8, 32);
+        assert!(m8 > m3 && m8 < 2.0 * m2, "a tree, not a chain: {m8}");
+        // the per-cell mux cost is the 2-way figure
+        let mut t = ChainTiming::new(&lib, clock);
+        assert_eq!(
+            t.cell_delay_ps(&CellKind::Mux { onehot: false }, &[1, 32, 32], 32),
+            m2
+        );
+        // saturates instead of overflowing beyond u8 fan-in
+        assert!(t.mux_tree_delay_ps(4096, 32) >= t.mux_tree_delay_ps(255, 32));
     }
 
     #[test]

@@ -327,6 +327,88 @@ impl NirModule {
             .map(|(i, c)| (CellId(i as u32), c))
     }
 
+    /// Per-cell fan-out: how many times each cell appears as an operand of
+    /// any other cell. A count of zero means nothing in the module reads the
+    /// cell's value.
+    pub fn use_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.cells.len()];
+        for cell in &self.cells {
+            for input in &cell.inputs {
+                counts[input.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The live cone: `true` for every cell transitively reachable from an
+    /// `Output` cell (through both data and enable operands). A module with
+    /// no output cells reports everything live.
+    pub fn live_cells(&self) -> Vec<bool> {
+        let roots: Vec<CellId> = self
+            .iter_cells()
+            .filter(|(_, c)| matches!(c.kind, CellKind::Output { .. }))
+            .map(|(id, _)| id)
+            .collect();
+        if roots.is_empty() {
+            return vec![true; self.cells.len()];
+        }
+        let mut live = vec![false; self.cells.len()];
+        let mut stack = roots;
+        while let Some(id) = stack.pop() {
+            if live[id.index()] {
+                continue;
+            }
+            live[id.index()] = true;
+            for &input in &self.cell(id).inputs {
+                if !live[input.index()] {
+                    stack.push(input);
+                }
+            }
+        }
+        live
+    }
+
+    /// Cells in a combinational topological order: every combinational cell
+    /// appears after all of its operands. Sequential cells and sources carry
+    /// no incoming combinational edges and appear before any combinational
+    /// consumer. Requires combinationally acyclic logic (see
+    /// [`crate::validate`]); cells on a cycle are omitted rather than
+    /// looping forever.
+    pub fn comb_topo_order(&self) -> Vec<CellId> {
+        let n = self.cells.len();
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut stack: Vec<(u32, bool)> = Vec::new();
+        for root in 0..n as u32 {
+            if state[root as usize] != 0 {
+                continue;
+            }
+            stack.push((root, false));
+            while let Some((id, expanded)) = stack.pop() {
+                if expanded {
+                    state[id as usize] = 2;
+                    order.push(CellId(id));
+                    continue;
+                }
+                if state[id as usize] != 0 {
+                    continue;
+                }
+                state[id as usize] = 1;
+                stack.push((id, true));
+                let cell = &self.cells[id as usize];
+                if cell.kind.is_seq() || cell.kind.is_source() {
+                    continue;
+                }
+                for &input in &cell.inputs {
+                    if state[input.index()] == 0 {
+                        stack.push((input.0, false));
+                    }
+                }
+            }
+        }
+        order
+    }
+
     /// Structural statistics over the arena (cell counts by kind, register
     /// totals and the maximum combinational mux-chain depth).
     pub fn stats(&self) -> NetlistStats {
@@ -437,8 +519,48 @@ pub struct NetlistStats {
 
 impl NetlistStats {
     /// Count of cells with the given mnemonic, zero when absent.
+    ///
+    /// Prefer the typed accessors ([`NetlistStats::count_kind`],
+    /// [`NetlistStats::count_bin`], ...) — a typo'd mnemonic silently reads
+    /// as zero, a typo'd enum variant does not compile.
     pub fn count(&self, mnemonic: &str) -> usize {
         self.kind_counts.get(mnemonic).copied().unwrap_or(0)
+    }
+
+    /// Count of cells of the given kind (parameters ignored: every
+    /// `Mux { .. }` counts as a mux, every `Cmp` under its own flavour).
+    pub fn count_kind(&self, kind: &CellKind) -> usize {
+        self.count(kind.mnemonic())
+    }
+
+    /// Count of binary-operator cells of the given operator.
+    pub fn count_bin(&self, op: BinKind) -> usize {
+        self.count(op.mnemonic())
+    }
+
+    /// Count of unary-operator cells of the given operator.
+    pub fn count_un(&self, op: UnKind) -> usize {
+        self.count(op.mnemonic())
+    }
+
+    /// Count of 2-way multiplexer cells.
+    pub fn muxes(&self) -> usize {
+        self.count("mux")
+    }
+
+    /// Count of `Output` port-write cells.
+    pub fn outputs(&self) -> usize {
+        self.count("output")
+    }
+
+    /// Count of `Input` port-read cells.
+    pub fn inputs(&self) -> usize {
+        self.count("input")
+    }
+
+    /// Count of constant cells.
+    pub fn consts(&self) -> usize {
+        self.count("const")
     }
 }
 
@@ -514,6 +636,72 @@ mod tests {
         let m4 = m.push(CellKind::Mux { onehot: false }, 8, vec![s0, r, a]);
         let _ = m4;
         assert_eq!(m.max_mux_depth(), 3);
+    }
+
+    #[test]
+    fn use_counts_and_live_cells_agree_with_structure() {
+        let mut m = NirModule::new("t");
+        m.ports.push(port("y", PortDirection::Output, 8));
+        let a = m.push(CellKind::Const(1), 8, vec![]);
+        let b = m.push(CellKind::Const(2), 8, vec![]);
+        let s = m.push(CellKind::Bin(BinKind::Add), 8, vec![a, b]);
+        let dead = m.push(CellKind::Bin(BinKind::Add), 8, vec![a, a]);
+        let en = m.push(CellKind::Const(1), 1, vec![]);
+        m.push(CellKind::Output { port: 0, state: 0 }, 8, vec![s, en]);
+        let uses = m.use_counts();
+        assert_eq!(
+            uses[a.index()],
+            3,
+            "a feeds the sum and the dead adder twice"
+        );
+        assert_eq!(uses[b.index()], 1);
+        assert_eq!(uses[s.index()], 1);
+        assert_eq!(uses[dead.index()], 0);
+        let live = m.live_cells();
+        assert!(live[a.index()] && live[b.index()] && live[s.index()] && live[en.index()]);
+        assert!(!live[dead.index()], "unreachable from any output");
+    }
+
+    #[test]
+    fn comb_topo_order_puts_operands_first() {
+        let mut m = NirModule::new("t");
+        let a = m.push(CellKind::Const(1), 8, vec![]);
+        let en = m.push(CellKind::Const(1), 1, vec![]);
+        // register feedback: r = reg(add(r, a)) — legal, the topo order must
+        // still terminate and place the adder after its register operand
+        let r = m.add_cell(Cell {
+            kind: CellKind::Reg { init: 0 },
+            width: 8,
+            inputs: vec![a, en],
+            name: None,
+        });
+        let sum = m.push(CellKind::Bin(BinKind::Add), 8, vec![r, a]);
+        m.cells[r.index()].inputs = vec![sum, en];
+        let order = m.comb_topo_order();
+        assert_eq!(order.len(), m.num_cells());
+        let pos = |id: CellId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(r) < pos(sum), "reg launches before the adder consumes");
+        assert!(pos(a) < pos(sum));
+    }
+
+    #[test]
+    fn typed_stat_accessors_match_string_counts() {
+        let mut m = NirModule::new("t");
+        let c = m.push(CellKind::Const(3), 8, vec![]);
+        let d = m.push(CellKind::Const(4), 8, vec![]);
+        let p = m.push(CellKind::Bin(BinKind::Mul), 8, vec![c, d]);
+        let n = m.push(CellKind::Un(UnKind::Neg), 8, vec![p]);
+        let s0 = m.push(CellKind::Const(1), 1, vec![]);
+        let _mx = m.push(CellKind::Mux { onehot: false }, 8, vec![s0, p, n]);
+        let s = m.stats();
+        assert_eq!(s.count_bin(BinKind::Mul), s.count("mul"));
+        assert_eq!(s.count_bin(BinKind::Mul), 1);
+        assert_eq!(s.count_un(UnKind::Neg), 1);
+        assert_eq!(s.muxes(), 1);
+        assert_eq!(s.consts(), 3);
+        assert_eq!(s.count_kind(&CellKind::Mux { onehot: true }), 1);
+        assert_eq!(s.outputs(), 0);
+        assert_eq!(s.inputs(), 0);
     }
 
     #[test]

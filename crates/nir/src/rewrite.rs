@@ -394,27 +394,14 @@ fn or_tree(m: &mut NirModule, conds: &[CellId]) -> CellId {
 /// output cells is left untouched.
 pub fn sweep(m: &mut NirModule) -> usize {
     let n = m.cells.len();
-    let roots: Vec<CellId> = m
-        .iter_cells()
-        .filter(|(_, c)| matches!(c.kind, CellKind::Output { .. }))
-        .map(|(id, _)| id)
-        .collect();
-    if roots.is_empty() {
+    if !m
+        .cells
+        .iter()
+        .any(|c| matches!(c.kind, CellKind::Output { .. }))
+    {
         return 0;
     }
-    let mut live = vec![false; n];
-    let mut stack: Vec<CellId> = roots;
-    while let Some(id) = stack.pop() {
-        if live[id.index()] {
-            continue;
-        }
-        live[id.index()] = true;
-        for &input in &m.cell(id).inputs {
-            if !live[input.index()] {
-                stack.push(input);
-            }
-        }
-    }
+    let live = m.live_cells();
     let dead = live.iter().filter(|&&l| !l).count();
     if dead == 0 {
         return 0;
@@ -493,7 +480,7 @@ mod tests {
         let _ = optimize(&mut m);
         validate(&m).unwrap();
         // the multiply by one is gone
-        assert_eq!(m.stats().count("mul"), 0);
+        assert_eq!(m.stats().count_bin(BinKind::Mul), 0);
     }
 
     #[test]
@@ -513,7 +500,7 @@ mod tests {
         finish(&mut m, mx);
         let _ = optimize(&mut m);
         validate(&m).unwrap();
-        assert_eq!(m.stats().count("mux"), 0);
+        assert_eq!(m.stats().muxes(), 0);
     }
 
     #[test]

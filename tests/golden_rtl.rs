@@ -79,10 +79,14 @@ fn example1_shared_fu_rtl_has_one_multiplier_and_three_way_muxes() {
         "one physical multiplier in the text"
     );
     let nstats = result.netlist_stats();
-    assert_eq!(nstats.count("mul"), 1, "one multiplier cell: {nstats:?}");
+    assert_eq!(
+        nstats.count_bin(hls::nir::BinKind::Mul),
+        1,
+        "one multiplier cell: {nstats:?}"
+    );
     // the shared multiplier's ports carry steering muxes; three ops on one
     // unit need at least two 3-arm chains (2 muxes each)
-    assert!(nstats.count("mux") >= 4, "{nstats:?}");
+    assert!(nstats.muxes() >= 4, "{nstats:?}");
     assert!(nstats.regs > 0 && nstats.reg_bits > 0, "{nstats:?}");
     // the 3-arm chains are already depth-optimal, so rewrites must not
     // deepen them

@@ -1,0 +1,224 @@
+//! Integration tests for the `hls-lint` analyzer: the idct8 acceptance
+//! check (the reported critical path must re-derive, cell by cell, from
+//! `ChainTiming` primitives) and the rewrite-monotonicity property
+//! (`optimize()` never introduces new diagnostics).
+use hls::explore::{idct8_design, synthetic_design, DesignClass};
+use hls::lint::{analyze, Lint, LintConfig, LintContext};
+use hls::netlist::ChainTiming;
+use hls::nir::CellKind;
+use hls::sched::{Scheduler, SchedulerConfig};
+use hls::tech::{ClockConstraint, TechLibrary};
+use proptest::prelude::*;
+
+/// Recomputes the critical path's delay step by step from `ChainTiming`
+/// primitives, asserting each step's running arrival against the report.
+///
+/// The rules mirror the analyzer's documented model: sources launch at
+/// clock-to-Q (constants at 0), plain cells add their Table 1 delay, a mux
+/// charges its tree fan-in only where the tree is consumed by a non-mux
+/// step, and the endpoint adds the flip-flop setup.
+fn recompute_path(
+    m: &hls::nir::NirModule,
+    timing: &hls::lint::TimingSummary,
+    t: &mut ChainTiming,
+) -> f64 {
+    let path = &timing.critical_path;
+    assert!(!path.is_empty(), "no critical path reported");
+    let mut acc = 0.0;
+    for (i, step) in path.iter().enumerate() {
+        let cell = m.cell(step.cell);
+        let next_is_mux = path
+            .get(i + 1)
+            .map(|n| matches!(m.cell(n.cell).kind, CellKind::Mux { .. }))
+            .unwrap_or(false);
+        let last = i + 1 == path.len();
+        acc += match &cell.kind {
+            CellKind::Const(_) => 0.0,
+            CellKind::Reg { .. } if i == 0 => t.register_arrival_ps(),
+            CellKind::Reg { .. } => {
+                assert!(last, "a register mid-path is not combinational");
+                t.setup_ps()
+            }
+            CellKind::Output { .. } => {
+                assert!(last, "an output port is always the endpoint");
+                t.setup_ps()
+            }
+            CellKind::Input { .. }
+            | CellKind::FsmState
+            | CellKind::StageValid { .. }
+            | CellKind::FirstIter { .. } => t.register_arrival_ps(),
+            CellKind::Mux { .. } => {
+                // a path can begin at a mux whose (registered) select wins
+                let start = if i == 0 { t.register_arrival_ps() } else { 0.0 };
+                let tree = if next_is_mux {
+                    0.0
+                } else {
+                    t.mux_tree_delay_ps(step.fanin, cell.width)
+                };
+                start + tree
+            }
+            kind => {
+                let widths: Vec<u16> = cell.inputs.iter().map(|&x| m.cell(x).width).collect();
+                t.cell_delay_ps(kind, &widths, cell.width)
+            }
+        };
+        assert!(
+            (acc - step.arrival_ps).abs() < 0.1,
+            "step {i} `{}` ({}): recomputed {acc} vs reported {}",
+            step.name,
+            step.kind,
+            step.arrival_ps
+        );
+    }
+    acc
+}
+
+/// The idct8 acceptance check: at the paper-scale 2000 ps clock the shared-FU
+/// II=8 netlist meets timing, the reported critical path re-derives from
+/// `ChainTiming` within 0.1 ps, and tightening the clock below the path's
+/// delay turns the same netlist into a deny-level setup violation.
+#[test]
+fn idct8_sta_critical_path_matches_hand_computation() {
+    let result = hls::Synthesizer::from_body(idct8_design())
+        .clock_ps(2000.0)
+        .latency_bounds(1, 32)
+        .pipeline(8)
+        .run()
+        .expect("idct8 synthesizes at 2000 ps, II=8");
+    let timing = result.lint.timing.as_ref().expect("analysis ran");
+    assert!(
+        timing.wns_ps > 0.0,
+        "positive slack at 2000 ps, got wns {}",
+        timing.wns_ps
+    );
+    assert!(timing.meets_clock());
+    assert_eq!(timing.tns_ps, 0.0);
+
+    // The path is named launch-to-capture and its cell-summed delay
+    // re-derives from the library's primitives.
+    let lib = TechLibrary::artisan_90nm_typical();
+    let clock = ClockConstraint::from_period_ps(2000.0);
+    let mut t = ChainTiming::new(&lib, clock);
+    let total = recompute_path(&result.netlist, timing, &mut t);
+    assert!(
+        (total - timing.critical_delay_ps()).abs() < 0.1,
+        "cell-summed {total} vs endpoint {}",
+        timing.critical_delay_ps()
+    );
+    assert!(timing.critical_path.len() >= 4, "a real multi-cell chain");
+    assert!(
+        timing.critical_path_names().contains("->"),
+        "path renders as a named chain"
+    );
+    // increments telescope exactly to the endpoint delay
+    let summed: f64 = timing.critical_path.iter().map(|s| s.incr_ps).sum();
+    assert!((summed - timing.critical_delay_ps()).abs() < 1e-9);
+
+    // Tightened below the critical delay, the same netlist fails with a
+    // deny-level setup violation under `deny_timing`.
+    let tight = ClockConstraint::from_period_ps(timing.critical_delay_ps() - 50.0);
+    let ctx = LintContext::new(&lib, tight)
+        .with_binding(&result.binding)
+        .with_schedule(&result.schedule.desc);
+    let report = analyze(&result.netlist, &ctx, &LintConfig::deny_timing());
+    assert!(
+        report.has_deny(),
+        "tight clock must gate: {}",
+        report.render()
+    );
+    assert!(report.count_of(Lint::SetupViolation) >= 1);
+    let violation = report
+        .diagnostics
+        .iter()
+        .find(|d| d.lint == Lint::SetupViolation)
+        .expect("violation present");
+    assert!(violation.message.contains("ps past the"), "{violation:?}");
+}
+
+/// The synthesizer's stored report matches a fresh analysis of the stored
+/// netlist in the same context — the gate and the report can't drift apart.
+#[test]
+fn stored_report_matches_fresh_analysis() {
+    let result = hls::Synthesizer::from_body(idct8_design())
+        .clock_ps(2000.0)
+        .latency_bounds(1, 32)
+        .pipeline(8)
+        .run()
+        .expect("synthesizes");
+    let lib = TechLibrary::artisan_90nm_typical();
+    let ctx = LintContext::new(&lib, ClockConstraint::from_period_ps(2000.0))
+        .with_binding(&result.binding)
+        .with_schedule(&result.schedule.desc);
+    let fresh = analyze(&result.netlist, &ctx, &LintConfig::default());
+    assert_eq!(result.lint, fresh);
+    assert_eq!(result.lint.to_json(), fresh.to_json());
+}
+
+fn class_strategy() -> impl Strategy<Value = DesignClass> {
+    prop_oneof![
+        Just(DesignClass::Filter),
+        Just(DesignClass::Fft),
+        Just(DesignClass::ImageKernel),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// `optimize()` never introduces new diagnostics (per-lint counts after
+    /// are bounded by the counts before), and the analyzer is deterministic
+    /// (two runs yield identical reports and identical JSON).
+    #[test]
+    fn rewrites_never_introduce_diagnostics(
+        class in class_strategy(),
+        ops in 40usize..120,
+        seed in 0u64..1000,
+        pipelined in any::<bool>(),
+    ) {
+        let body = synthetic_design(class, ops, seed);
+        let lib = TechLibrary::artisan_90nm_typical();
+        let clock = ClockConstraint::from_period_ps(1800.0);
+        let config = if pipelined {
+            SchedulerConfig::pipelined(clock, 2, 32)
+        } else {
+            SchedulerConfig::sequential(clock, 1, 32)
+        };
+        let Ok(schedule) = Scheduler::new(&body, &lib, config).run() else {
+            // an over-constrained random instance is acceptable
+            return Ok(());
+        };
+        let Ok(binding) = hls::bind::bind(&body, &schedule.desc) else {
+            return Ok(());
+        };
+        let Ok(mut netlist) =
+            hls::bind::lower(&body, &schedule.desc, &binding, hls::bind::RtlStyle::SharedFu)
+        else {
+            return Ok(());
+        };
+        let ctx = LintContext::new(&lib, clock)
+            .with_binding(&binding)
+            .with_schedule(&schedule.desc);
+        let cfg = LintConfig::default();
+        let before = analyze(&netlist, &ctx, &cfg);
+        prop_assert!(!before.has_deny(), "pre-rewrite netlist denies:\n{}", before.render());
+
+        hls::nir::optimize(&mut netlist);
+        let after = analyze(&netlist, &ctx, &cfg);
+
+        // determinism: same module, same context, same report
+        let again = analyze(&netlist, &ctx, &cfg);
+        prop_assert_eq!(&after, &again);
+        prop_assert_eq!(after.to_json(), again.to_json());
+
+        // monotonicity: rewrites only remove or rebalance, so no lint may
+        // fire more often than before
+        let (nb, na) = (before.counts(), after.counts());
+        for (i, lint) in Lint::ALL.iter().enumerate() {
+            prop_assert!(
+                na[i] <= nb[i],
+                "{} rose from {} to {}:\nbefore:\n{}\nafter:\n{}",
+                lint.name(), nb[i], na[i], before.render(), after.render()
+            );
+        }
+    }
+}

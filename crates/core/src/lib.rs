@@ -174,6 +174,12 @@ pub struct SynthesisResult {
     /// What the netlist rewrite pipeline did (normalization, steering-chain
     /// rebalancing, dead-cell sweep, mux-depth before/after).
     pub netlist_rewrites: RewriteReport,
+    /// What the timing-driven rewrite loop did: operator-chain rebalancing,
+    /// shift strength reduction and register retiming over the failing
+    /// cones, with the timing summaries before and after. `rounds == 0`
+    /// (and `before == after`) when the rewritten netlist already met the
+    /// clock — the netlist is then untouched by this stage.
+    pub timed_rewrites: hls_lint::TimedRewriteReport,
     /// Estimated total area in library units.
     pub area: f64,
     /// Estimated total power in microwatts.
@@ -384,6 +390,17 @@ impl Synthesizer {
             // the rewrites must not change observable behaviour
             hls_sim::differential::random_check_nir(&body, &netlist, vectors, 0x5EED)?;
         }
+        // Timing-driven re-optimization: if the rewritten netlist still has
+        // negative-slack endpoints, rebalance/retime the failing cones and
+        // re-verify. A netlist that already meets the clock is returned
+        // byte-identical (`timed_rewrites.rounds == 0`).
+        let timed_rewrites = hls_lint::optimize_timed(&mut netlist, &self.library, clock);
+        if timed_rewrites.changed() {
+            hls_nir::validate(&netlist)?;
+            if let Some(vectors) = self.verify_vectors {
+                hls_sim::differential::random_check_nir(&body, &netlist, vectors, 0x5EED)?;
+            }
+        }
         // Static analysis of the final netlist: structural lints plus the
         // cell-level timing walk, in the binding/schedule context. Deny-level
         // findings fail the run.
@@ -405,6 +422,7 @@ impl Synthesizer {
             binding,
             netlist,
             netlist_rewrites,
+            timed_rewrites,
             area: dp.total_area(),
             power_uw: dp.total_power_uw(),
             rtl,

@@ -19,6 +19,12 @@
 //! deny-level findings make the `hls` facade's synthesizer fail the run.
 //! Reports serialize to JSON ([`LintReport::to_json`]) for CI artifacts.
 //!
+//! The timing analysis also *acts*: [`optimize_timed`] drives the
+//! `hls_nir` timing rewrites (operator rebalancing, shift strength
+//! reduction, register retiming) from the per-endpoint slack data,
+//! restricted to failing cones ([`critical_cells`]) and monotone in worst
+//! slack by accept-or-revert rounds.
+//!
 //! ```
 //! use hls_lint::{analyze, LintConfig, LintContext};
 //! use hls_nir::{CellKind, NirModule};
@@ -42,10 +48,14 @@ pub mod config;
 pub mod diag;
 pub mod sta;
 mod structural;
+pub mod timed;
 
 pub use config::{Lint, LintConfig, Severity};
 pub use diag::{Diagnostic, LintReport};
-pub use sta::{analyze_timing, PathStep, TimingEndpoint, TimingSummary};
+pub use sta::{
+    analyze_timing, critical_cells, endpoint_slacks, PathStep, TimingEndpoint, TimingSummary,
+};
+pub use timed::{optimize_timed, TimedRewriteReport};
 
 use hls_bind::BoundDesign;
 use hls_netlist::{ChainTiming, ScheduleDesc};

@@ -144,7 +144,12 @@ pub(crate) fn mux_fanins(m: &NirModule) -> Vec<usize> {
 ///
 /// This deliberately covers only the shapes the lowering builds guards from
 /// — `fsm == k` compares and `and`/`or`/`not` folds — plus enough mux/xor
-/// propagation to chase a resolved select through derived control.
+/// propagation to chase a resolved select through derived control, and
+/// width adapters ([`CellKind::Resize`]/[`CellKind::Slice`]) so that
+/// rewrite-introduced re-widths on control nets stay transparent: a
+/// resolved select threaded through a resize must still resolve, or the
+/// rebalanced tree would pick up spurious `comb-fanin`/`dead-mux-arm`
+/// findings the pre-rewrite netlist did not have.
 pub(crate) fn known_values(m: &NirModule, fsm_state: Option<u64>) -> Vec<Option<u64>> {
     let mask = |v: u64, w: u16| {
         if w >= 64 {
@@ -153,11 +158,24 @@ pub(crate) fn known_values(m: &NirModule, fsm_state: Option<u64>) -> Vec<Option<
             v & ((1u64 << w) - 1)
         }
     };
+    // Values are stored masked at their cell's width; re-widening reads
+    // them back signed, matching the evaluator's two's-complement model.
+    let sext = |v: u64, from: u16| -> u64 {
+        if from == 0 || from >= 64 {
+            return v;
+        }
+        if v & (1u64 << (from - 1)) != 0 {
+            v | !((1u64 << from) - 1)
+        } else {
+            v
+        }
+    };
     let mut known: Vec<Option<u64>> = vec![None; m.num_cells()];
     for id in m.comb_topo_order() {
         let cell = m.cell(id);
         let w = cell.width;
         let input = |k: usize| known[cell.inputs[k].index()];
+        let input_width = |k: usize| m.cell(cell.inputs[k]).width;
         known[id.index()] = match &cell.kind {
             CellKind::Const(v) => Some(mask(*v as u64, w)),
             CellKind::FsmState => fsm_state.map(|s| mask(s, w)),
@@ -194,10 +212,60 @@ pub(crate) fn known_values(m: &NirModule, fsm_state: Option<u64>) -> Vec<Option<
                 Some(sel) => input(if sel != 0 { 1 } else { 2 }),
                 None => None,
             },
+            CellKind::Resize => input(0).map(|a| mask(sext(a, input_width(0)), w)),
+            CellKind::Slice { lo, .. } => input(0).map(|a| {
+                let wide = sext(a, input_width(0)) as i64;
+                mask((wide >> (*lo).min(63)) as u64, w)
+            }),
             _ => None,
         };
     }
     known
+}
+
+/// Comb cells on a failing cone: every combinational cell reachable
+/// backwards from an endpoint with negative slack, stopping at sequential
+/// and source cells (registers, ports, constants, controller bits — the
+/// launch points of the next path segment). This is the eligibility mask
+/// `hls_lint::optimize_timed` hands to the `hls_nir` timing rewrites so
+/// that netlists, and netlist regions, that already meet the clock are
+/// never churned.
+pub fn critical_cells(m: &NirModule, summary: &TimingSummary) -> Vec<bool> {
+    let mut mask = vec![false; m.num_cells()];
+    let mut stack: Vec<CellId> = Vec::new();
+    for ep in &summary.endpoints {
+        if ep.slack_ps >= 0.0 {
+            continue;
+        }
+        stack.extend(m.cell(ep.cell).inputs.iter().copied());
+    }
+    while let Some(id) = stack.pop() {
+        let i = id.index();
+        if mask[i] {
+            continue;
+        }
+        let cell = m.cell(id);
+        if cell.kind.is_seq() || cell.kind.is_source() {
+            continue;
+        }
+        mask[i] = true;
+        stack.extend(cell.inputs.iter().copied());
+    }
+    mask
+}
+
+/// Per-endpoint slack, indexed by cell: `Some(slack_ps)` for every register
+/// and output-port cell, `None` elsewhere. A reusable query form of
+/// [`analyze_timing`]'s report for callers that want to interrogate
+/// specific cells (rewrite gating, binding heuristics) instead of reading
+/// the sorted endpoint list.
+pub fn endpoint_slacks(m: &NirModule, timing: &mut ChainTiming) -> Vec<Option<f64>> {
+    let summary = analyze_timing(m, timing);
+    let mut slacks = vec![None; m.num_cells()];
+    for ep in &summary.endpoints {
+        slacks[ep.cell.index()] = Some(ep.slack_ps);
+    }
+    slacks
 }
 
 /// One state's arrival-time pass: per cell, the arrival at its output

@@ -118,6 +118,14 @@ impl<'a> ChainTiming<'a> {
         self.lib.register_setup_ps()
     }
 
+    /// Fixed per-cycle register cost: launch (clock-to-Q) plus capture
+    /// (setup). No rewrite can create a path cheaper than this, so a clock
+    /// period below it is unachievable — timing-driven rewriting uses this
+    /// as its feasibility floor.
+    pub fn register_overhead_ps(&self) -> f64 {
+        self.register_arrival_ps() + self.setup_ps()
+    }
+
     /// Delay of an `n`-leaf steering-mux tree of the given data width — the
     /// paper's per-fan-in sharing-mux cost (mux2 = 110 ps, mux3 = 115 ps,
     /// ~5 ps per further tree level). Fan-ins below 2 cost nothing; fan-ins
@@ -294,6 +302,17 @@ mod tests {
             TechLibrary::artisan_90nm_typical(),
             ClockConstraint::from_period_ps(1600.0),
         )
+    }
+
+    #[test]
+    fn register_overhead_is_the_launch_plus_capture_floor() {
+        let (lib, clock) = setup();
+        let t = ChainTiming::new(&lib, clock);
+        assert!((t.register_overhead_ps() - 80.0).abs() < 1e-9, "40 + 40");
+        assert_eq!(
+            t.register_overhead_ps(),
+            t.register_arrival_ps() + t.setup_ps()
+        );
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //! * [`text_emit`] / [`text_parse`] — a round-trippable text format with
 //!   `parse(emit(m)) == m`,
 //! * [`optimize`] — verified rewrite passes (constant/identity
-//!   normalization and steering-chain rebalancing) plus dead-cell sweep.
+//!   normalization and steering-chain rebalancing) plus dead-cell sweep,
+//! * mask-gated timing rewrites — [`rebalance_operator_chains`],
+//!   [`strength_reduce_shifts`] and [`retime_registers`], run by
+//!   `hls_lint::optimize_timed` on negative-slack cones only.
 //!
 //! The Verilog printer lives in `hls-netlist` and is a thin walk over this
 //! model; the lowering from a bound design lives in `hls-bind`.
@@ -25,6 +28,9 @@ pub mod text;
 pub mod validate;
 
 pub use model::{sanitize, BinKind, Cell, CellId, CellKind, NetlistStats, NirModule, UnKind};
-pub use rewrite::{normalize, optimize, rebalance_mux_chains, sweep, RewriteReport};
+pub use rewrite::{
+    normalize, optimize, rebalance_mux_chains, rebalance_operator_chains, retime_registers,
+    strength_reduce_shifts, sweep, RewriteReport,
+};
 pub use text::{text_emit, text_parse, ParseError};
 pub use validate::{validate, NirError};

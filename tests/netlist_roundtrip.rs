@@ -151,4 +151,54 @@ proptest! {
         differential::random_check_nir(&body, &m, 40, seed)
             .map_err(|e| TestCaseError::fail(format!("seed {seed}: differential: {e}")))?;
     }
+
+    /// Netlists containing the timed-rewrite shapes — rebuilt balanced
+    /// operator trees, strength-reduced shifts and retimed registers — keep
+    /// the text-format contract `text_parse(text_emit(n)) == n` and stay
+    /// differentially bit-exact. The passes run unmasked here to maximize
+    /// how many of the new cell shapes land in the corpus.
+    #[test]
+    fn timed_rewrite_shapes_round_trip_and_stay_bit_exact(
+        seed in 0u64..10_000,
+        pipelined in any::<bool>(),
+        shared in any::<bool>(),
+    ) {
+        let behavior = random_behavior(seed);
+        let mut cdfg = hls::frontend::elaborate(&behavior).expect("elaborates");
+        let body = prepare_innermost_loop(&mut cdfg).expect("linearizes");
+        let lib = TechLibrary::artisan_90nm_typical();
+        let clock = ClockConstraint::from_period_ps(4200.0);
+        let config = if pipelined {
+            SchedulerConfig::pipelined(clock, 2, 24)
+        } else {
+            SchedulerConfig::sequential(clock, 1, 24)
+        };
+        let Ok(schedule) = Scheduler::new(&body, &lib, config).run() else {
+            return Ok(());
+        };
+        let bound = bind(&body, &schedule.desc)
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: bind: {e}")))?;
+        let style = if shared { RtlStyle::SharedFu } else { RtlStyle::PerOp };
+        let mut m = lower(&body, &schedule.desc, &bound, style)
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: lower: {e}")))?;
+        hls::netlist::optimize(&mut m);
+
+        let rebalanced = hls::nir::rebalance_operator_chains(&mut m, None);
+        let reduced = hls::nir::strength_reduce_shifts(&mut m, None);
+        let retimed = hls::nir::retime_registers(&mut m, None);
+        hls::nir::normalize(&mut m);
+        hls::nir::sweep(&mut m);
+        validate(&m)
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: post-timed: {e}")))?;
+        let _ = (rebalanced, reduced, retimed);
+
+        // the new cell shapes survive the text format unchanged
+        let reparsed = text_parse(&text_emit(&m))
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: parse: {e}")))?;
+        prop_assert_eq!(&reparsed, &m);
+
+        // and observable behaviour is untouched
+        differential::random_check_nir(&body, &m, 40, seed)
+            .map_err(|e| TestCaseError::fail(format!("seed {seed}: differential: {e}")))?;
+    }
 }

@@ -28,6 +28,7 @@
 
 pub use hls_bind as bind;
 pub use hls_explore as explore;
+pub use hls_fault as fault;
 pub use hls_frontend as frontend;
 pub use hls_frontend::designs;
 pub use hls_ir as ir;
@@ -40,10 +41,14 @@ pub use hls_sched as sched;
 pub use hls_sim as sim;
 pub use hls_tech as tech;
 
+mod recovery;
+
+pub use recovery::{RecoveryAction, RecoveryPolicy, RecoveryStep};
+
 use hls_bind::RtlStyle;
 use hls_frontend::{elaborate, Behavior};
 use hls_ir::LinearBody;
-use hls_lint::{LintConfig, LintContext, LintReport};
+use hls_lint::{Diagnostic, Lint, LintConfig, LintContext, LintReport, Severity};
 use hls_netlist::{emit_verilog, Datapath};
 use hls_nir::{NirModule, RewriteReport};
 use hls_opt::linearize::{linearize_loop, prepare_innermost_loop};
@@ -80,6 +85,18 @@ pub enum SynthesisError {
     /// or setup violations, depending on the configured severities). The
     /// full report — including the timing summary — is carried along.
     Lint(Box<LintReport>),
+    /// The recovery ladder ([`Synthesizer::recover`]) ran out of rungs: the
+    /// trace records every action that was tried, and `last` is the error
+    /// the final attempt failed with (also reachable through
+    /// [`Error::source`]).
+    RecoveryExhausted {
+        /// Synthesis attempts made (1 + recovery steps taken).
+        attempts: u32,
+        /// Every rung of the ladder that was walked, in order.
+        trace: Vec<RecoveryStep>,
+        /// The error of the final attempt.
+        last: Box<SynthesisError>,
+    },
 }
 
 impl fmt::Display for SynthesisError {
@@ -106,11 +123,41 @@ impl fmt::Display for SynthesisError {
                     report.deny_count()
                 )
             }
+            SynthesisError::RecoveryExhausted {
+                attempts,
+                trace,
+                last,
+            } => {
+                write!(
+                    f,
+                    "recovery exhausted after {attempts} attempt(s): {last}; trace:"
+                )?;
+                for step in trace {
+                    write!(f, " [{step}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
-impl Error for SynthesisError {}
+impl Error for SynthesisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthesisError::Frontend(e) => Some(e),
+            SynthesisError::Optimizer(e) => Some(e),
+            SynthesisError::Scheduling(e) => Some(e),
+            SynthesisError::Folding(e) => Some(e),
+            SynthesisError::Binding(e) => Some(e),
+            SynthesisError::Lowering(e) => Some(e),
+            SynthesisError::Netlist(e) => Some(e),
+            SynthesisError::Verification(e) => Some(e),
+            // the report is data, not an error type
+            SynthesisError::Lint(_) => None,
+            SynthesisError::RecoveryExhausted { last, .. } => Some(last.as_ref()),
+        }
+    }
+}
 
 impl From<hls_frontend::FrontendError> for SynthesisError {
     fn from(e: hls_frontend::FrontendError) -> Self {
@@ -194,6 +241,18 @@ pub struct SynthesisResult {
     /// requested: the schedule was executed cycle-accurately against the
     /// reference interpreter on random input vectors and agreed bit-exactly.
     pub verification: Option<hls_sim::DifferentialReport>,
+    /// Every rung of the recovery ladder that was walked to reach this
+    /// result ([`Synthesizer::recover`]). Empty when the first attempt
+    /// succeeded — the overwhelmingly common case.
+    pub recovery: Vec<RecoveryStep>,
+    /// The run was accepted degraded — the result does not meet the
+    /// constraints as requested: either its lint report still carries
+    /// deny-level *timing* findings, kept visible instead of failing the
+    /// run ([`RecoveryAction::AcceptDegraded`]), or the schedule only
+    /// exists because the scheduling clock was stretched past the requested
+    /// one ([`RecoveryAction::StretchClock`]), with the miss reported by
+    /// the signoff STA. Never set without a matching entry in `recovery`.
+    pub degraded: bool,
 }
 
 impl SynthesisResult {
@@ -230,6 +289,7 @@ pub struct Synthesizer {
     loop_label: Option<String>,
     verify_vectors: Option<usize>,
     lint_config: LintConfig,
+    recovery: RecoveryPolicy,
 }
 
 impl Synthesizer {
@@ -246,6 +306,7 @@ impl Synthesizer {
             loop_label: None,
             verify_vectors: None,
             lint_config: LintConfig::default(),
+            recovery: RecoveryPolicy::disabled(),
         }
     }
 
@@ -318,11 +379,21 @@ impl Synthesizer {
         self
     }
 
-    fn config(&self) -> SchedulerConfig {
-        let clock = ClockConstraint::from_period_ps(self.clock_ps);
-        let mut config = match self.ii {
-            Some(ii) => SchedulerConfig::pipelined(clock, ii, self.max_latency),
-            None => SchedulerConfig::sequential(clock, self.min_latency, self.max_latency),
+    /// Arms the recovery ladder: instead of failing fast, recoverable
+    /// errors (scheduling over-constraint, timing-only lint denies) trigger
+    /// the policy's escalation actions — extra timed-rewrite rounds,
+    /// latency/II relaxation, degraded acceptance — each recorded in
+    /// [`SynthesisResult::recovery`]. See [`RecoveryPolicy`].
+    pub fn recover(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = policy;
+        self
+    }
+
+    fn config_for(&self, knobs: &Knobs) -> SchedulerConfig {
+        let clock = ClockConstraint::from_period_ps(knobs.sched_clock_ps);
+        let mut config = match knobs.ii {
+            Some(ii) => SchedulerConfig::pipelined(clock, ii, knobs.max_latency),
+            None => SchedulerConfig::sequential(clock, self.min_latency, knobs.max_latency),
         };
         config.allow_scc_move = self.allow_scc_move;
         config
@@ -355,10 +426,64 @@ impl Synthesizer {
     }
 
     fn run_on_body(self, body: LinearBody) -> Result<SynthesisResult, SynthesisError> {
-        let config = self.config();
-        let clock = config.clock;
+        let mut knobs = Knobs {
+            max_latency: self.max_latency,
+            ii: self.ii,
+            timed_rounds: hls_lint::MAX_ROUNDS,
+            sched_clock_ps: self.clock_ps,
+            accept_degraded: false,
+            latency_relaxed: false,
+        };
+        let mut trace: Vec<RecoveryStep> = Vec::new();
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let last = match self.attempt(&body, &knobs) {
+                Ok(mut result) => {
+                    result.recovery = trace;
+                    return Ok(result);
+                }
+                Err(e) => e,
+            };
+            let action = if (trace.len() as u32) < self.recovery.max_retries {
+                next_action(&last, &self.recovery, &knobs)
+            } else {
+                None
+            };
+            match action {
+                Some(action) => {
+                    knobs.apply(&action);
+                    trace.push(RecoveryStep {
+                        attempt,
+                        trigger: last.to_string(),
+                        action,
+                    });
+                }
+                None if trace.is_empty() => return Err(last),
+                None => {
+                    return Err(SynthesisError::RecoveryExhausted {
+                        attempts: attempt,
+                        trace,
+                        last: Box::new(last),
+                    })
+                }
+            }
+        }
+    }
+
+    /// One full pass of the flow under the current recovery knobs. Recovery
+    /// is driven entirely from the outside: this function fails fast.
+    fn attempt(&self, body: &LinearBody, knobs: &Knobs) -> Result<SynthesisResult, SynthesisError> {
+        let body = body.clone();
+        let config = self.config_for(knobs);
+        // The scheduler works against the (possibly stretched) recovery
+        // clock; everything downstream — timed rewrites, lint/STA, the
+        // estimators — signs off against the clock the user asked for, so a
+        // stretched run reports its real setup violations instead of
+        // quietly re-targeting.
+        let clock = ClockConstraint::from_period_ps(self.clock_ps);
         let schedule = Scheduler::new(&body, &self.library, config).run()?;
-        let pipeline = match self.ii {
+        let pipeline = match knobs.ii {
             Some(_) => Some(fold_schedule(&body, &schedule)?),
             None => None,
         };
@@ -393,8 +518,11 @@ impl Synthesizer {
         // Timing-driven re-optimization: if the rewritten netlist still has
         // negative-slack endpoints, rebalance/retime the failing cones and
         // re-verify. A netlist that already meets the clock is returned
-        // byte-identical (`timed_rewrites.rounds == 0`).
-        let timed_rewrites = hls_lint::optimize_timed(&mut netlist, &self.library, clock);
+        // byte-identical (`timed_rewrites.rounds == 0`). The round budget
+        // defaults to `hls_lint::MAX_ROUNDS`; the recovery ladder may raise
+        // it ([`RecoveryAction::ExtraTimedRounds`]).
+        let timed_rewrites =
+            hls_lint::optimize_timed_with(&mut netlist, &self.library, clock, knobs.timed_rounds);
         if timed_rewrites.changed() {
             hls_nir::validate(&netlist)?;
             if let Some(vectors) = self.verify_vectors {
@@ -407,10 +535,32 @@ impl Synthesizer {
         let lint_ctx = LintContext::new(&self.library, clock)
             .with_binding(&binding)
             .with_schedule(&schedule.desc);
-        let lint = hls_lint::analyze(&netlist, &lint_ctx, &self.lint_config);
-        if lint.has_deny() {
+        let mut lint = hls_lint::analyze(&netlist, &lint_ctx, &self.lint_config);
+        if timed_rewrites.hit_round_limit {
+            // Surface the backstop as a finding: the timed-rewrite search
+            // was cut off by its round budget, not by convergence, so the
+            // reported timing may be improvable with a larger budget.
+            lint.push_sorted(Diagnostic {
+                lint: Lint::RewriteRoundLimit,
+                severity: self.lint_config.severity(Lint::RewriteRoundLimit),
+                cell: None,
+                name: None,
+                message: format!(
+                    "timing-driven rewrite stopped at its {}-round budget with \
+                     worst slack {:.0} ps still negative",
+                    knobs.timed_rounds, timed_rewrites.after.wns_ps
+                ),
+            });
+        }
+        if lint.has_deny() && !(knobs.accept_degraded && timing_only_denies(&lint)) {
             return Err(SynthesisError::Lint(Box::new(lint)));
         }
+        // Degraded means "this result does not meet the constraints as
+        // requested": timing denies were kept by AcceptDegraded, or the
+        // schedule only exists because the scheduling clock was stretched
+        // past the requested one (in which case the signoff STA above
+        // reports the miss, at whatever severity is configured).
+        let degraded = lint.has_deny() || knobs.sched_clock_ps > self.clock_ps;
         let slack_fraction = (schedule.min_slack_ps / clock.period_ps()).clamp(0.0, 0.9);
         let dp =
             Datapath::from_schedule(&body, &schedule.desc, &self.library, clock, slack_fraction);
@@ -428,8 +578,116 @@ impl Synthesizer {
             rtl,
             lint,
             verification,
+            recovery: Vec::new(),
+            degraded,
         })
     }
+}
+
+/// The mutable synthesis parameters the recovery ladder is allowed to turn.
+#[derive(Clone, Copy, Debug)]
+struct Knobs {
+    max_latency: u32,
+    ii: Option<u32>,
+    timed_rounds: usize,
+    /// The clock the *scheduler* works against; starts at the requested
+    /// clock and only moves via [`RecoveryAction::StretchClock`]. Signoff
+    /// always keeps the requested clock.
+    sched_clock_ps: f64,
+    accept_degraded: bool,
+    /// [`RecoveryAction::RelaxLatency`] is a one-shot rung.
+    latency_relaxed: bool,
+}
+
+impl Knobs {
+    fn apply(&mut self, action: &RecoveryAction) {
+        match *action {
+            RecoveryAction::ExtraTimedRounds { rounds } => self.timed_rounds = rounds,
+            RecoveryAction::RelaxLatency { to, .. } => {
+                self.max_latency = to;
+                self.latency_relaxed = true;
+            }
+            RecoveryAction::RelaxIi { to, .. } => self.ii = Some(to),
+            RecoveryAction::StretchClock { to_ps, .. } => self.sched_clock_ps = to_ps,
+            RecoveryAction::AcceptDegraded => self.accept_degraded = true,
+        }
+    }
+}
+
+/// Picks the next rung of the escalation ladder for a failure, or `None`
+/// when the failure is unrecoverable (structural denies, verification
+/// mismatches, broken lowering — anything that indicates wrong hardware
+/// rather than a constraint that was too tight).
+fn next_action(
+    err: &SynthesisError,
+    policy: &RecoveryPolicy,
+    knobs: &Knobs,
+) -> Option<RecoveryAction> {
+    match err {
+        SynthesisError::Scheduling(e) => {
+            let worst_slack_ps = match e {
+                hls_sched::SchedError::Overconstrained { worst_slack_ps, .. } => *worst_slack_ps,
+                hls_sched::SchedError::BudgetExhausted { .. } => 0.0,
+                // the scheduler names the feasible II — jump straight to it
+                hls_sched::SchedError::InfeasibleIi { requested, minimum } => {
+                    return (policy.allow_ii_fallback && minimum > requested).then_some(
+                        RecoveryAction::RelaxIi {
+                            from: *requested,
+                            to: *minimum,
+                        },
+                    );
+                }
+                _ => return None,
+            };
+            if policy.latency_headroom > 0 && !knobs.latency_relaxed {
+                Some(RecoveryAction::RelaxLatency {
+                    from: knobs.max_latency,
+                    to: knobs.max_latency + policy.latency_headroom,
+                })
+            } else if worst_slack_ps < 0.0 && policy.allow_clock_stretch {
+                // slack-driven: an operation misses the clock at any
+                // latency, so relax exactly what is infeasible — the
+                // scheduling clock — by the reported shortfall (plus 1 ps
+                // against float edge cases)
+                Some(RecoveryAction::StretchClock {
+                    from_ps: knobs.sched_clock_ps,
+                    to_ps: knobs.sched_clock_ps - worst_slack_ps + 1.0,
+                })
+            } else if policy.allow_ii_fallback {
+                knobs.ii.map(|ii| RecoveryAction::RelaxIi {
+                    from: ii,
+                    to: ii + 1,
+                })
+            } else {
+                None
+            }
+        }
+        SynthesisError::Lint(report) if timing_only_denies(report) => {
+            if policy.extra_timed_rounds > 0 && knobs.timed_rounds == hls_lint::MAX_ROUNDS {
+                Some(RecoveryAction::ExtraTimedRounds {
+                    rounds: hls_lint::MAX_ROUNDS + policy.extra_timed_rounds,
+                })
+            } else if policy.allow_degraded && !knobs.accept_degraded {
+                Some(RecoveryAction::AcceptDegraded)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Whether every deny-level finding of the report is timing-level — the
+/// only family of denies [`RecoveryAction::AcceptDegraded`] may demote.
+/// Structural denies (malformed netlists, name collisions) describe broken
+/// hardware and are never degradable.
+fn timing_only_denies(report: &LintReport) -> bool {
+    report.has_deny()
+        && report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .all(|d| matches!(d.lint, Lint::SetupViolation | Lint::RewriteRoundLimit))
 }
 
 /// Synthesis driver over an already-linearized loop body (used by the
@@ -470,6 +728,12 @@ impl BodySynthesizer {
     /// [`Synthesizer::lint_config`]).
     pub fn lint_config(mut self, config: LintConfig) -> Self {
         self.inner = self.inner.lint_config(config);
+        self
+    }
+
+    /// Arms the recovery ladder (see [`Synthesizer::recover`]).
+    pub fn recover(mut self, policy: RecoveryPolicy) -> Self {
+        self.inner = self.inner.recover(policy);
         self
     }
 

@@ -1,0 +1,33 @@
+//! Deterministic fault injection for the rpp-hls verification stack.
+//!
+//! The flow leans on three checkers to certify a lowered netlist:
+//! `hls_nir::validate` (structure), `hls_lint::analyze` (structural lints +
+//! static timing) and `hls_sim::differential::check_nir` (bit-exact
+//! execution against the reference interpreter). This crate answers the
+//! question those checkers cannot answer about themselves: *would they
+//! actually notice if the netlist were wrong?*
+//!
+//! It does so by mutation testing the checkers. A typed catalog
+//! ([`FaultClass`]) enumerates realistic lowering bugs — swapped operands,
+//! exchanged mux arms, corrupted constants, dropped write enables, narrowed
+//! datapaths, inverted selects — and [`inject`] plants each one into a copy
+//! of a known-good netlist. [`run_sweep`] then pushes every mutant through
+//! the full checker stack in gate order and records which checker killed
+//! it. The resulting [`FaultCoverageReport`] is machine-readable and gates
+//! CI: every class must be killed, or carry a *named, documented escape*
+//! ([`FaultClass::documented_escape`]) explaining the architectural
+//! invariant that makes the fault unobservable.
+//!
+//! Everything is deterministic: site enumeration, site capping, mutation,
+//! and the differential stimulus are pure functions of the netlist and the
+//! [`FaultConfig`] seed, so a red coverage job replays exactly.
+
+mod catalog;
+mod sweep;
+
+pub use catalog::{
+    documented_site_escape, enumerate, inject, sampling_stable, FaultClass, FaultSpec,
+};
+pub use sweep::{
+    run_sweep, Checker, ClassSummary, FaultConfig, FaultCoverageReport, FaultOutcome, MutantOutcome,
+};

@@ -61,6 +61,10 @@ pub enum Lint {
     /// A register-to-register (or register-to-output) path arrives after
     /// the clock edge: negative slack under the Figure 8 delay model.
     SetupViolation,
+    /// The timed-rewrite loop spent its full round budget and stopped with
+    /// timing still failing — the netlist kept every improvement found, but
+    /// the backstop (not convergence) ended the search.
+    RewriteRoundLimit,
     /// The netlist fails structural validation, or disagrees with the
     /// schedule it claims to implement.
     MalformedNetlist,
@@ -68,7 +72,7 @@ pub enum Lint {
 
 impl Lint {
     /// Every lint, in catalog order.
-    pub const ALL: [Lint; 9] = [
+    pub const ALL: [Lint; 10] = [
         Lint::UnreachableFsmState,
         Lint::DeadRegister,
         Lint::DeadMuxArm,
@@ -77,6 +81,7 @@ impl Lint {
         Lint::CombFanin,
         Lint::ConstFoldable,
         Lint::SetupViolation,
+        Lint::RewriteRoundLimit,
         Lint::MalformedNetlist,
     ];
 
@@ -91,6 +96,7 @@ impl Lint {
             Lint::CombFanin => "comb-fanin",
             Lint::ConstFoldable => "const-foldable",
             Lint::SetupViolation => "setup-violation",
+            Lint::RewriteRoundLimit => "rewrite-round-limit",
             Lint::MalformedNetlist => "malformed-netlist",
         }
     }

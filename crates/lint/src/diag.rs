@@ -77,6 +77,33 @@ impl LintReport {
         counts
     }
 
+    /// Restores the canonical diagnostic order: deny first, then catalog
+    /// order, then anchor cell — a stable order for reports and for the
+    /// determinism property.
+    pub fn sort_canonical(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| {
+                    let pos = |l: Lint| Lint::ALL.iter().position(|&x| x == l).expect("in ALL");
+                    pos(a.lint).cmp(&pos(b.lint))
+                })
+                .then(a.cell.cmp(&b.cell))
+        });
+    }
+
+    /// Appends a finding produced outside [`crate::analyze`] (the `hls`
+    /// facade uses this to surface flow-level findings such as
+    /// [`Lint::RewriteRoundLimit`]) and restores the canonical order.
+    /// Allow-level findings are dropped, matching the analyzer.
+    pub fn push_sorted(&mut self, diagnostic: Diagnostic) {
+        if diagnostic.severity == Severity::Allow {
+            return;
+        }
+        self.diagnostics.push(diagnostic);
+        self.sort_canonical();
+    }
+
     /// Renders the report as human-readable text.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -267,6 +294,38 @@ mod tests {
         // balanced braces/brackets (cheap well-formedness proxy)
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn push_sorted_keeps_canonical_order_and_drops_allow() {
+        let mut r = report();
+        r.push_sorted(Diagnostic {
+            lint: Lint::RewriteRoundLimit,
+            severity: Severity::Warn,
+            cell: None,
+            name: None,
+            message: "budget spent".into(),
+        });
+        // deny first, then catalog order: dead-register before
+        // rewrite-round-limit
+        let lints: Vec<Lint> = r.diagnostics.iter().map(|d| d.lint).collect();
+        assert_eq!(
+            lints,
+            vec![
+                Lint::DuplicateNetName,
+                Lint::DeadRegister,
+                Lint::RewriteRoundLimit
+            ]
+        );
+        let before = r.clone();
+        r.push_sorted(Diagnostic {
+            lint: Lint::WidthTruncation,
+            severity: Severity::Allow,
+            cell: None,
+            name: None,
+            message: "suppressed".into(),
+        });
+        assert_eq!(r, before, "allow-level findings are dropped");
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use diag::{Diagnostic, LintReport};
 pub use sta::{
     analyze_timing, critical_cells, endpoint_slacks, PathStep, TimingEndpoint, TimingSummary,
 };
-pub use timed::{optimize_timed, TimedRewriteReport};
+pub use timed::{optimize_timed, optimize_timed_with, TimedRewriteReport, MAX_ROUNDS};
 
 use hls_bind::BoundDesign;
 use hls_netlist::{ChainTiming, ScheduleDesc};
@@ -179,17 +179,7 @@ pub fn analyze(m: &NirModule, ctx: &LintContext, cfg: &LintConfig) -> LintReport
     }
     report.timing = Some(summary);
 
-    // Deny first, then catalog order, then anchor cell — a stable order for
-    // reports and for the determinism property.
-    report.diagnostics.sort_by(|a, b| {
-        b.severity
-            .cmp(&a.severity)
-            .then_with(|| {
-                let pos = |l: Lint| Lint::ALL.iter().position(|&x| x == l).expect("in ALL");
-                pos(a.lint).cmp(&pos(b.lint))
-            })
-            .then(a.cell.cmp(&b.cell))
-    });
+    report.sort_canonical();
     report
 }
 

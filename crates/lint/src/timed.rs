@@ -37,8 +37,10 @@ use crate::sta::{analyze_timing, critical_cells, TimingSummary};
 
 /// Upper bound on analyze→rewrite rounds. Each accepted round must improve
 /// WNS by [`MIN_GAIN_PS`], so the loop terminates long before this; the
-/// bound is a backstop against delay-model pathologies.
-const MAX_ROUNDS: usize = 32;
+/// bound is a backstop against delay-model pathologies. When the backstop
+/// actually fires the report says so ([`TimedRewriteReport::hit_round_limit`])
+/// and the `hls` facade surfaces it as a `rewrite-round-limit` lint finding.
+pub const MAX_ROUNDS: usize = 32;
 
 /// Minimum worst-slack improvement (picoseconds) for a round to be kept.
 /// The Figure 8 delay model is quantized in 5 ps steps; anything below
@@ -69,6 +71,10 @@ pub struct TimedRewriteReport {
     /// Timing of the returned netlist. Equal to `before` when `rounds` is
     /// 0 (the netlist is then byte-identical to the input).
     pub after: TimingSummary,
+    /// The loop stopped because it spent its whole round budget with timing
+    /// still failing — the search was cut off by the backstop, not by
+    /// convergence (fixpoint, revert, or non-negative slack).
+    pub hit_round_limit: bool,
 }
 
 impl TimedRewriteReport {
@@ -95,6 +101,19 @@ pub fn optimize_timed(
     library: &TechLibrary,
     clock: ClockConstraint,
 ) -> TimedRewriteReport {
+    optimize_timed_with(m, library, clock, MAX_ROUNDS)
+}
+
+/// [`optimize_timed`] with an explicit round budget instead of
+/// [`MAX_ROUNDS`]. The facade's recovery policy uses this to grant a run
+/// that hit the backstop more rounds; tests use it to force the backstop
+/// cheaply.
+pub fn optimize_timed_with(
+    m: &mut NirModule,
+    library: &TechLibrary,
+    clock: ClockConstraint,
+    max_rounds: usize,
+) -> TimedRewriteReport {
     let mut timing = ChainTiming::new(library, clock);
     let before = analyze_timing(m, &mut timing);
     let mut report = TimedRewriteReport {
@@ -106,6 +125,7 @@ pub fn optimize_timed(
         swept: 0,
         before: before.clone(),
         after: before.clone(),
+        hit_round_limit: false,
     };
     // Clean netlists are returned untouched; a clock below the flip-flop
     // launch+capture floor can never be met by restructuring, so don't
@@ -115,7 +135,7 @@ pub fn optimize_timed(
     }
 
     let mut current = before;
-    for _ in 0..MAX_ROUNDS {
+    for _ in 0..max_rounds {
         let mask = critical_cells(m, &current);
         let snapshot = m.clone();
         let rebalanced = rebalance_operator_chains(m, Some(&mask));
@@ -145,6 +165,9 @@ pub fn optimize_timed(
             break;
         }
     }
+    // Every round was accepted and slack is still negative: the budget, not
+    // convergence, ended the search.
+    report.hit_round_limit = report.rounds == max_rounds && current.wns_ps < 0.0;
     report.after = current;
     report
 }
@@ -253,6 +276,39 @@ mod tests {
         let again = optimize_timed(&mut m, &lib, clock);
         assert!(again.after.wns_ps >= again.before.wns_ps);
         assert_eq!(again.after.wns_ps, report.after.wns_ps, "deterministic");
+    }
+
+    #[test]
+    fn a_one_round_budget_that_keeps_failing_reports_the_limit() {
+        // At 1000 ps even the balanced depth-3 spine (1130 ps) fails, so
+        // round 1 is accepted (linear → balanced improves WNS) and the
+        // budget ends the search with slack still negative.
+        let mut m = add_spine();
+        let (lib, clock) = fixture(1000.0);
+        let report = optimize_timed_with(&mut m, &lib, clock, 1);
+        assert_eq!(report.rounds, 1);
+        assert!(report.after.wns_ps < 0.0);
+        assert!(report.hit_round_limit);
+        validate(&m).unwrap();
+    }
+
+    #[test]
+    fn converged_runs_do_not_claim_the_limit() {
+        // Clean run (no rounds) and a successful rebalance (stops on
+        // wns >= 0) both converge — neither is a backstop hit.
+        let mut clean = add_spine();
+        let (lib, relaxed) = fixture(3000.0);
+        assert!(!optimize_timed(&mut clean, &lib, relaxed).hit_round_limit);
+        let mut fixed = add_spine();
+        let (_, tight) = fixture(1600.0);
+        let report = optimize_timed(&mut fixed, &lib, tight);
+        assert!(report.after.wns_ps >= 0.0);
+        assert!(!report.hit_round_limit);
+        // A run that stops by revert/fixpoint (500 ps: improvements dry up
+        // before 32 accepted rounds) converges too.
+        let mut hopeless = add_spine();
+        let (_, infight) = fixture(500.0);
+        assert!(!optimize_timed(&mut hopeless, &lib, infight).hit_round_limit);
     }
 
     #[test]

@@ -190,6 +190,23 @@ fn simplify(m: &mut NirModule, id: CellId) -> Option<CellId> {
             let lc = const_of(m, inputs[0]);
             let rc = const_of(m, inputs[1]);
             let fwd = |m: &mut NirModule, keep: CellId| Some(resized(m, keep, w));
+            // Same-operand identities: the value cancels (`x-x`, `x^x`),
+            // passes through (`x&x`, `x|x`), or the comparison is decided
+            // by reflexivity regardless of the operand's runtime value.
+            if inputs[0] == inputs[1] {
+                match b {
+                    BinKind::Sub | BinKind::Xor => return Some(const_cell(m, 0, w)),
+                    BinKind::And | BinKind::Or => return fwd(m, inputs[0]),
+                    BinKind::Cmp(c) => {
+                        let v = matches!(
+                            c,
+                            hls_ir::CmpKind::Eq | hls_ir::CmpKind::Ge | hls_ir::CmpKind::Le
+                        );
+                        return Some(const_cell(m, i64::from(v), w));
+                    }
+                    _ => {}
+                }
+            }
             match b {
                 BinKind::Add => {
                     if rc.as_ref().is_some_and(|v| v.as_i64() == 0) {

@@ -16,6 +16,13 @@ pub enum SchedError {
         passes: u32,
         /// Human-readable diagnostics (outstanding restraints).
         details: String,
+        /// The most negative per-operation slack among the outstanding
+        /// restraints, in picoseconds — how far the worst operation missed
+        /// the clock. `0.0` when the failure is not slack-driven (resource
+        /// contention, SCC windows). A caller that wants to *degrade*
+        /// instead of fail can re-run with the clock stretched by this
+        /// amount.
+        worst_slack_ps: f64,
     },
     /// The loop body failed validation before scheduling.
     InvalidBody {
@@ -30,12 +37,31 @@ pub enum SchedError {
         /// Structural minimum implied by the DFG recurrences.
         minimum: u32,
     },
+    /// A scheduling budget (pass count or wall-clock deadline) ran out while
+    /// the relaxation loop still had applicable actions. Unlike
+    /// [`SchedError::Overconstrained`] this is not a verdict on the spec —
+    /// it is a guard against unbounded iteration, and it carries the partial
+    /// diagnostics of the last failed pass so the caller can see where the
+    /// search stood when it was cut off.
+    BudgetExhausted {
+        /// Which budget ran out (e.g. `"64 scheduling passes"` or
+        /// `"deadline of 10 ms"`).
+        budget: String,
+        /// Latency reached when the budget ran out.
+        latency: u32,
+        /// Number of scheduling passes executed.
+        passes: u32,
+        /// Outstanding restraints of the last failed pass, rendered.
+        restraints: Vec<String>,
+        /// Relaxation actions applied before the budget ran out, rendered.
+        actions: Vec<String>,
+    },
 }
 
 impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SchedError::Overconstrained { latency, passes, details } => write!(
+            SchedError::Overconstrained { latency, passes, details, .. } => write!(
                 f,
                 "specification is overconstrained (gave up at latency {latency} after {passes} passes): {details}"
             ),
@@ -44,6 +70,25 @@ impl fmt::Display for SchedError {
                 f,
                 "initiation interval {requested} is below the recurrence-imposed minimum {minimum}"
             ),
+            SchedError::BudgetExhausted {
+                budget,
+                latency,
+                passes,
+                restraints,
+                actions,
+            } => {
+                write!(
+                    f,
+                    "scheduling budget exhausted ({budget}) at latency {latency} after {passes} pass(es)"
+                )?;
+                if !restraints.is_empty() {
+                    write!(f, "; outstanding: {}", restraints.join("; "))?;
+                }
+                if !actions.is_empty() {
+                    write!(f, "; applied: {}", actions.join(", "))?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -68,6 +113,7 @@ mod tests {
             latency: 3,
             passes: 7,
             details: "x".into(),
+            worst_slack_ps: -45.0,
         };
         assert!(e.to_string().contains("overconstrained"));
         let e = SchedError::InfeasibleIi {
@@ -75,5 +121,20 @@ mod tests {
             minimum: 3,
         };
         assert!(e.to_string().contains("minimum 3"));
+    }
+
+    #[test]
+    fn budget_exhausted_renders_partial_diagnostics() {
+        let e = SchedError::BudgetExhausted {
+            budget: "2 scheduling passes".into(),
+            latency: 4,
+            passes: 2,
+            restraints: vec!["negative slack on op mul1".into()],
+            actions: vec!["add state".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("budget exhausted"), "{s}");
+        assert!(s.contains("negative slack on op mul1"), "{s}");
+        assert!(s.contains("add state"), "{s}");
     }
 }

@@ -59,6 +59,19 @@ impl Restraint {
     }
 }
 
+/// The most negative per-operation slack among `restraints`, or `0.0` when
+/// none of them is slack-driven. This is the clock stretch that would make
+/// the worst failing operation fit.
+pub fn worst_negative_slack(restraints: &[Restraint]) -> f64 {
+    restraints
+        .iter()
+        .filter_map(|r| match r {
+            Restraint::NegativeSlack { slack_ps, .. } => Some(*slack_ps),
+            _ => None,
+        })
+        .fold(0.0, f64::min)
+}
+
 impl fmt::Display for Restraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -13,7 +13,7 @@ use crate::config::SchedulerConfig;
 use crate::engine::{Engine, EngineOutcome};
 use crate::error::SchedError;
 use crate::pass::{schedule_pass, schedule_pass_reference, PassInput, PassOutcome};
-use crate::relax::{choose_action, RelaxAction};
+use crate::relax::{choose_action, worst_negative_slack, RelaxAction};
 use crate::resources::initial_resource_set;
 use hls_ir::analysis::{sccs, Scc};
 use hls_ir::{LinearBody, OpId};
@@ -77,11 +77,14 @@ impl<'a> Scheduler<'a> {
     /// from-scratch re-pass would (see [`Scheduler::run_reference`]).
     ///
     /// # Errors
-    /// Returns [`SchedError::InvalidBody`] if the body fails validation, or
+    /// Returns [`SchedError::InvalidBody`] if the body fails validation,
     /// [`SchedError::Overconstrained`] if the latency/resource bounds cannot
-    /// accommodate the design at the requested clock.
+    /// accommodate the design at the requested clock, or
+    /// [`SchedError::BudgetExhausted`] when the pass-count or wall-clock
+    /// budget runs out with relaxation actions still applicable.
     pub fn run(&self) -> Result<Schedule, SchedError> {
         self.body.validate()?;
+        let start = std::time::Instant::now();
         let components: Vec<Scc> = sccs(&self.body.dfg);
 
         let latency = self.config.min_latency.max(1);
@@ -99,9 +102,21 @@ impl<'a> Scheduler<'a> {
             latency,
         );
         let mut actions: Vec<RelaxAction> = Vec::new();
+        let mut last_restraints: Vec<String> = Vec::new();
         let mut resume_from = 0u32;
 
         for pass_no in 1..=self.config.max_passes {
+            if let Some(deadline) = self.config.deadline {
+                if pass_no > 1 && start.elapsed() >= deadline {
+                    return Err(budget_exhausted(
+                        format!("deadline of {deadline:?}"),
+                        engine.latency,
+                        pass_no - 1,
+                        last_restraints,
+                        &actions,
+                    ));
+                }
+            }
             match engine.run_pass(resume_from) {
                 EngineOutcome::Success { min_slack_ps } => {
                     let latency = engine.latency;
@@ -114,6 +129,7 @@ impl<'a> Scheduler<'a> {
                     });
                 }
                 EngineOutcome::Failure(failure) => {
+                    last_restraints = failure.restraints.iter().map(|r| r.to_string()).collect();
                     let scc_stage: HashMap<usize, u32> = engine
                         .scc_stage()
                         .iter()
@@ -131,16 +147,11 @@ impl<'a> Scheduler<'a> {
                         &failure.failed_ops,
                     );
                     let Some(action) = action else {
-                        let details = failure
-                            .restraints
-                            .iter()
-                            .map(|r| r.to_string())
-                            .collect::<Vec<_>>()
-                            .join("; ");
                         return Err(SchedError::Overconstrained {
                             latency: engine.latency,
                             passes: pass_no,
-                            details,
+                            details: last_restraints.join("; "),
+                            worst_slack_ps: worst_negative_slack(&failure.restraints),
                         });
                     };
                     resume_from = engine.apply(&action);
@@ -148,11 +159,13 @@ impl<'a> Scheduler<'a> {
                 }
             }
         }
-        Err(SchedError::Overconstrained {
-            latency: engine.latency,
-            passes: self.config.max_passes,
-            details: "maximum number of scheduling passes exceeded".to_string(),
-        })
+        Err(budget_exhausted(
+            format!("{} scheduling passes", self.config.max_passes),
+            engine.latency,
+            self.config.max_passes,
+            last_restraints,
+            &actions,
+        ))
     }
 
     /// The retained reference driver: re-runs the original from-scratch
@@ -166,6 +179,7 @@ impl<'a> Scheduler<'a> {
     /// Same contract as [`Scheduler::run`].
     pub fn run_reference(&self) -> Result<Schedule, SchedError> {
         self.body.validate()?;
+        let start = std::time::Instant::now();
         let components: Vec<Scc> = sccs(&self.body.dfg);
 
         let mut latency = self.config.min_latency.max(1);
@@ -174,8 +188,20 @@ impl<'a> Scheduler<'a> {
         let mut forbidden: HashSet<(OpId, ResourceInstanceId)> = HashSet::new();
         let mut scc_stage: HashMap<usize, u32> = HashMap::new();
         let mut actions: Vec<RelaxAction> = Vec::new();
+        let mut last_restraints: Vec<String> = Vec::new();
 
         for pass_no in 1..=self.config.max_passes {
+            if let Some(deadline) = self.config.deadline {
+                if pass_no > 1 && start.elapsed() >= deadline {
+                    return Err(budget_exhausted(
+                        format!("deadline of {deadline:?}"),
+                        latency,
+                        pass_no - 1,
+                        last_restraints,
+                        &actions,
+                    ));
+                }
+            }
             let input = PassInput {
                 body: self.body,
                 lib: self.lib,
@@ -197,6 +223,7 @@ impl<'a> Scheduler<'a> {
                     });
                 }
                 PassOutcome::Failure(failure) => {
+                    last_restraints = failure.restraints.iter().map(|r| r.to_string()).collect();
                     let action = choose_action(
                         &failure.restraints,
                         &self.config,
@@ -208,16 +235,11 @@ impl<'a> Scheduler<'a> {
                         &failure.failed_ops,
                     );
                     let Some(action) = action else {
-                        let details = failure
-                            .restraints
-                            .iter()
-                            .map(|r| r.to_string())
-                            .collect::<Vec<_>>()
-                            .join("; ");
                         return Err(SchedError::Overconstrained {
                             latency,
                             passes: pass_no,
-                            details,
+                            details: last_restraints.join("; "),
+                            worst_slack_ps: worst_negative_slack(&failure.restraints),
                         });
                     };
                     match &action {
@@ -236,11 +258,32 @@ impl<'a> Scheduler<'a> {
                 }
             }
         }
-        Err(SchedError::Overconstrained {
+        Err(budget_exhausted(
+            format!("{} scheduling passes", self.config.max_passes),
             latency,
-            passes: self.config.max_passes,
-            details: "maximum number of scheduling passes exceeded".to_string(),
-        })
+            self.config.max_passes,
+            last_restraints,
+            &actions,
+        ))
+    }
+}
+
+/// Builds the [`SchedError::BudgetExhausted`] partial-diagnostics payload
+/// shared by both drivers: the last failed pass's restraints plus every
+/// relaxation action applied so far, rendered.
+fn budget_exhausted(
+    budget: String,
+    latency: u32,
+    passes: u32,
+    restraints: Vec<String>,
+    actions: &[RelaxAction],
+) -> SchedError {
+    SchedError::BudgetExhausted {
+        budget,
+        latency,
+        passes,
+        restraints,
+        actions: actions.iter().map(|a| a.to_string()).collect(),
     }
 }
 
@@ -288,6 +331,7 @@ pub fn schedule_separated(
                     latency,
                     passes: 1,
                     details: format!("separated flow failed: {} restraints", f.restraints.len()),
+                    worst_slack_ps: worst_negative_slack(&f.restraints),
                 })
             }
         }
@@ -456,6 +500,64 @@ mod tests {
         config.allow_add_resources = false;
         let err = Scheduler::new(&body, &lib, config).run().unwrap_err();
         assert!(matches!(err, SchedError::Overconstrained { .. }));
+    }
+
+    #[test]
+    fn pass_budget_exhaustion_reports_partial_diagnostics() {
+        // Example 1 needs at least two relaxation actions (add two states);
+        // a one-pass budget cuts the search off mid-flight.
+        let body = example1();
+        let lib = lib();
+        let mut config = SchedulerConfig::sequential(clk(), 1, 3);
+        config.max_passes = 1;
+        let err = Scheduler::new(&body, &lib, config).run().unwrap_err();
+        match err {
+            SchedError::BudgetExhausted {
+                passes,
+                restraints,
+                actions,
+                ..
+            } => {
+                assert_eq!(passes, 1);
+                assert!(!restraints.is_empty(), "last pass's restraints carried");
+                assert_eq!(actions.len(), 1, "the one applied action is reported");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_deadline_stops_after_the_first_failed_pass() {
+        let body = example1();
+        let lib = lib();
+        let config =
+            SchedulerConfig::sequential(clk(), 1, 3).with_deadline(std::time::Duration::ZERO);
+        let err = Scheduler::new(&body, &lib, config).run().unwrap_err();
+        match err {
+            SchedError::BudgetExhausted {
+                budget,
+                passes,
+                restraints,
+                ..
+            } => {
+                assert!(budget.contains("deadline"), "{budget}");
+                assert_eq!(passes, 1, "one pass ran before the deadline check");
+                assert!(!restraints.is_empty());
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_does_not_preempt_a_first_pass_success() {
+        // A spec feasible on pass 1 succeeds even under a zero deadline: the
+        // budget is checked between passes, never before the first.
+        let body = example1();
+        let lib = lib();
+        let config =
+            SchedulerConfig::sequential(clk(), 3, 3).with_deadline(std::time::Duration::ZERO);
+        let schedule = Scheduler::new(&body, &lib, config).run().expect("pass 1");
+        assert_eq!(schedule.passes, 1);
     }
 
     #[test]

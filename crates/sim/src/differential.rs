@@ -107,10 +107,14 @@ fn compare(
                 port_name: decl.name.clone(),
                 expected: expected.len(),
                 actual: actual.len(),
+                replay: None,
             });
         }
         for (i, (e, a)) in expected.iter().zip(actual.iter()).enumerate() {
             if e != a {
+                // The first diverging write's clock cycle in the timed
+                // engine pins the failure on the waveform.
+                let cycle = timed.write_cycles(port).get(i).copied();
                 return Err(SimError::Mismatch {
                     port,
                     port_name: decl.name.clone(),
@@ -118,6 +122,8 @@ fn compare(
                     iteration: e.0,
                     expected: e.1,
                     actual: a.1,
+                    cycle,
+                    replay: None,
                 });
             }
             report.writes_checked += 1;
@@ -127,6 +133,8 @@ fn compare(
 }
 
 /// Convenience wrapper: [`check`] with `vectors` random input vectors.
+/// Divergence errors carry the [`ReplayInfo`](crate::error::ReplayInfo)
+/// needed to regenerate the failing stimulus.
 ///
 /// # Errors
 /// See [`check`].
@@ -137,10 +145,12 @@ pub fn random_check(
     seed: u64,
 ) -> Result<DifferentialReport, SimError> {
     let stimulus = Stimulus::random(&body.dfg, vectors, seed);
-    check(body, desc, &stimulus)
+    check(body, desc, &stimulus).map_err(|e| e.with_replay(replay(seed, vectors)))
 }
 
 /// Convenience wrapper: [`check_bound`] with `vectors` random input vectors.
+/// Divergence errors carry the [`ReplayInfo`](crate::error::ReplayInfo)
+/// needed to regenerate the failing stimulus.
 ///
 /// # Errors
 /// See [`check_bound`].
@@ -152,10 +162,12 @@ pub fn random_check_bound(
     seed: u64,
 ) -> Result<DifferentialReport, SimError> {
     let stimulus = Stimulus::random(&body.dfg, vectors, seed);
-    check_bound(body, desc, bound, &stimulus)
+    check_bound(body, desc, bound, &stimulus).map_err(|e| e.with_replay(replay(seed, vectors)))
 }
 
 /// Convenience wrapper: [`check_nir`] with `vectors` random input vectors.
+/// Divergence errors carry the [`ReplayInfo`](crate::error::ReplayInfo)
+/// needed to regenerate the failing stimulus.
 ///
 /// # Errors
 /// See [`check_nir`].
@@ -166,7 +178,11 @@ pub fn random_check_nir(
     seed: u64,
 ) -> Result<DifferentialReport, SimError> {
     let stimulus = Stimulus::random(&body.dfg, vectors, seed);
-    check_nir(body, netlist, &stimulus)
+    check_nir(body, netlist, &stimulus).map_err(|e| e.with_replay(replay(seed, vectors)))
+}
+
+fn replay(seed: u64, vectors: usize) -> crate::error::ReplayInfo {
+    crate::error::ReplayInfo { seed, vectors }
 }
 
 #[cfg(test)]
@@ -226,5 +242,39 @@ mod tests {
             matches!(err, SimError::Causality { .. } | SimError::Mismatch { .. }),
             "{err}"
         );
+    }
+
+    #[test]
+    fn divergences_are_replayable() {
+        // Corrupt the lowered netlist (flip the low bit of a coefficient
+        // constant) and check the random harness pins the failure: the
+        // exact stimulus arguments plus the first diverging cycle.
+        let body = example1();
+        let clk = ClockConstraint::from_period_ps(1600.0);
+        let d = desc(&body, SchedulerConfig::sequential(clk, 1, 3));
+        let bound = hls_bind::bind(&body, &d).expect("binds");
+        let mut m =
+            hls_bind::lower(&body, &d, &bound, hls_bind::RtlStyle::SharedFu).expect("lowers");
+        let coeff = (0..m.num_cells() as u32)
+            .map(hls_nir::CellId::from_raw)
+            .find(|&c| {
+                m.cell(c).width >= 8 && matches!(m.cell(c).kind, hls_nir::CellKind::Const(_))
+            })
+            .expect("example1 has coefficient constants");
+        if let hls_nir::CellKind::Const(v) = &mut m.cells[coeff.index()].kind {
+            *v ^= 1;
+        }
+        let err = random_check_nir(&body, &m, 10, 0xC0FFEE).unwrap_err();
+        let replay = err.replay().expect("divergence carries replay info");
+        assert_eq!(replay.seed, 0xC0FFEE);
+        assert_eq!(replay.vectors, 10);
+        if let SimError::Mismatch { cycle, .. } = &err {
+            assert!(cycle.is_some(), "diverging cycle recorded");
+        }
+        let rendered = err.to_string();
+        assert!(rendered.contains("0xc0ffee"), "{rendered}");
+        // the replay arguments reproduce the same failure deterministically
+        let again = random_check_nir(&body, &m, 10, 0xC0FFEE).unwrap_err();
+        assert_eq!(err, again);
     }
 }

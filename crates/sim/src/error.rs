@@ -5,6 +5,28 @@ use hls_ir::{IrError, OpId, PortId};
 use std::error::Error;
 use std::fmt;
 
+/// How to reproduce a failed differential run: the exact
+/// [`Stimulus::random`](crate::stimulus::Stimulus::random) arguments the
+/// harness used. Attached by the `random_check*` wrappers so a CI failure
+/// is replayable from its rendering alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplayInfo {
+    /// Seed the stimulus was generated from.
+    pub seed: u64,
+    /// Number of input vectors (iterations) generated.
+    pub vectors: usize,
+}
+
+impl fmt::Display for ReplayInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "replay with Stimulus::random(dfg, {}, {:#x})",
+            self.vectors, self.seed
+        )
+    }
+}
+
 /// Errors raised by the interpreter, the cycle-accurate simulator or the
 /// differential checker.
 #[derive(Clone, Debug, PartialEq)]
@@ -58,6 +80,12 @@ pub enum SimError {
         expected: i64,
         /// Value the cycle-accurate simulation produced.
         actual: i64,
+        /// Clock cycle of the diverging write in the timed engine, when the
+        /// trace recorded one.
+        cycle: Option<u64>,
+        /// How to regenerate the failing stimulus, when the run came from a
+        /// `random_check*` harness.
+        replay: Option<ReplayInfo>,
     },
     /// The bound simulation could not steer a shared functional unit: the
     /// operation's turn on the unit cannot be resolved (an operand or
@@ -87,7 +115,36 @@ pub enum SimError {
         expected: usize,
         /// Number of writes the cycle-accurate simulation produced.
         actual: usize,
+        /// How to regenerate the failing stimulus, when the run came from a
+        /// `random_check*` harness.
+        replay: Option<ReplayInfo>,
     },
+}
+
+impl SimError {
+    /// Attaches replay information to the divergence variants (other
+    /// variants are returned unchanged) — used by the `random_check*`
+    /// wrappers, which know the seed the stimulus came from.
+    #[must_use]
+    pub fn with_replay(mut self, info: ReplayInfo) -> Self {
+        match &mut self {
+            SimError::Mismatch { replay, .. } | SimError::WriteCountMismatch { replay, .. } => {
+                *replay = Some(info);
+            }
+            _ => {}
+        }
+        self
+    }
+
+    /// Replay information, when the error carries it.
+    pub fn replay(&self) -> Option<ReplayInfo> {
+        match self {
+            SimError::Mismatch { replay, .. } | SimError::WriteCountMismatch { replay, .. } => {
+                *replay
+            }
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -114,11 +171,22 @@ impl fmt::Display for SimError {
                 iteration,
                 expected,
                 actual,
+                cycle,
+                replay,
                 ..
-            } => write!(
-                f,
-                "write #{index} to `{port_name}` (iteration {iteration}): interpreter says {expected}, schedule simulation says {actual}"
-            ),
+            } => {
+                write!(
+                    f,
+                    "write #{index} to `{port_name}` (iteration {iteration}): interpreter says {expected}, schedule simulation says {actual}"
+                )?;
+                if let Some(cycle) = cycle {
+                    write!(f, " at cycle {cycle}")?;
+                }
+                if let Some(replay) = replay {
+                    write!(f, "; {replay}")?;
+                }
+                Ok(())
+            }
             SimError::Steering { op, cycle } => write!(
                 f,
                 "cannot steer the shared functional unit of {op} at cycle {cycle} (combinational wait cycle)"
@@ -130,16 +198,31 @@ impl fmt::Display for SimError {
                 port_name,
                 expected,
                 actual,
+                replay,
                 ..
-            } => write!(
-                f,
-                "port `{port_name}`: interpreter produced {expected} writes, schedule simulation {actual}"
-            ),
+            } => {
+                write!(
+                    f,
+                    "port `{port_name}`: interpreter produced {expected} writes, schedule simulation {actual}"
+                )?;
+                if let Some(replay) = replay {
+                    write!(f, "; {replay}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
-impl Error for SimError {}
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::InvalidBody(e) => Some(e),
+            SimError::Eval { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 impl From<IrError> for SimError {
     fn from(e: IrError) -> Self {

@@ -168,7 +168,14 @@ impl<'a> NirSim<'a> {
                 };
                 let en = vals[cell.inputs[1].index()].is_true();
                 let s = u64::from(state);
-                if en && t >= s && (t - s) % cpi == 0 {
+                // Every enabled write is recorded, not just writes landing
+                // in the cell's scheduled slot: the emitted Verilog gates
+                // the port register on the enable alone, so a mis-gated
+                // enable must surface here as extra writes rather than be
+                // masked by the schedule's timing. (For a correct lowering
+                // the enable only fires in the scheduled slot, so the two
+                // gatings coincide.)
+                if en && t >= s {
                     let k = (t - s) / cpi;
                     if (k as usize) < n_iters {
                         trace.writes.push(TimedWrite {

@@ -38,20 +38,59 @@ impl DesignClass {
     }
 }
 
+/// Above this op count [`synthetic_design`] splits the body into several
+/// independent kernels, the way large industrial designs aggregate many
+/// loosely coupled filter/transform blocks. Each kernel has its own I/O and
+/// no data edges to the others, so region decomposition can schedule them
+/// concurrently.
+const MULTI_KERNEL_THRESHOLD: usize = 2400;
+
+/// Rough op count of one kernel in a multi-kernel design.
+const KERNEL_OPS: usize = 600;
+
 /// Generates a synthetic loop body with roughly `target_ops` operations.
 ///
 /// The generator is deterministic for a given `(class, target_ops, seed)`
-/// triple.
+/// triple. Above [`MULTI_KERNEL_THRESHOLD`] ops the body is a union of
+/// independent ~[`KERNEL_OPS`]-op kernels (ports prefixed `k{j}_`); at or
+/// below it, a single kernel identical to what earlier versions generated.
 pub fn synthetic_design(class: DesignClass, target_ops: usize, seed: u64) -> LinearBody {
-    let mut rng = SmallRng::seed_from_u64(seed ^ (target_ops as u64) << 8);
     let mut dfg = Dfg::new();
+    if target_ops > MULTI_KERNEL_THRESHOLD {
+        let kernels = target_ops.div_ceil(KERNEL_OPS);
+        let per = target_ops / kernels;
+        for j in 0..kernels {
+            let mut rng = SmallRng::seed_from_u64(
+                seed ^ ((per as u64) << 8) ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            grow_kernel(&mut dfg, &mut rng, class, per, &format!("k{j}_"));
+        }
+    } else {
+        let mut rng = SmallRng::seed_from_u64(seed ^ (target_ops as u64) << 8);
+        grow_kernel(&mut dfg, &mut rng, class, target_ops, "");
+    }
+    let mut body = LinearBody::from_dfg(format!("{class:?}_{target_ops}"), dfg);
+    body.source_states = 1;
+    body
+}
+
+/// Grows one kernel of roughly `target_ops` operations into `dfg`, with its
+/// ports prefixed by `prefix`.
+fn grow_kernel(
+    dfg: &mut Dfg,
+    rng: &mut SmallRng,
+    class: DesignClass,
+    target_ops: usize,
+    prefix: &str,
+) {
     let width: u16 = 16;
+    let base_ops = dfg.num_ops();
 
     let n_inputs = (target_ops / 24).clamp(2, 32);
     let in_ports: Vec<_> = (0..n_inputs)
-        .map(|i| dfg.add_port(format!("in{i}"), PortDirection::Input, width))
+        .map(|i| dfg.add_port(format!("{prefix}in{i}"), PortDirection::Input, width))
         .collect();
-    let out_port = dfg.add_port("out", PortDirection::Output, 2 * width);
+    let out_port = dfg.add_port(format!("{prefix}out"), PortDirection::Output, 2 * width);
 
     // layer 0: port reads
     let mut frontier: Vec<Signal> = in_ports
@@ -80,7 +119,7 @@ pub fn synthetic_design(class: DesignClass, target_ops: usize, seed: u64) -> Lin
         frontier.push(Signal::op_w(acc, 2 * width));
     }
 
-    while dfg.num_ops() < target_ops.saturating_sub(2) {
+    while dfg.num_ops() - base_ops < target_ops.saturating_sub(2) {
         let a = frontier[rng.gen_range(0..frontier.len())];
         let b = frontier[rng.gen_range(0..frontier.len())];
         let roll: f64 = rng.gen();
@@ -117,10 +156,6 @@ pub fn synthetic_design(class: DesignClass, target_ops: usize, seed: u64) -> Lin
         acc = Signal::op_w(add, 2 * width);
     }
     dfg.add_op(OpKind::Write(out_port), 2 * width, vec![acc]);
-
-    let mut body = LinearBody::from_dfg(format!("{class:?}_{target_ops}"), dfg);
-    body.source_states = 1;
-    body
 }
 
 /// Builds an 8-point 1-D inverse DCT loop body (even/odd decomposition, 11
@@ -235,6 +270,30 @@ mod tests {
             let n = body.dfg.num_ops();
             assert!((250..=360).contains(&n), "{class:?} produced {n} ops");
         }
+    }
+
+    #[test]
+    fn large_designs_split_into_independent_kernels() {
+        let body = synthetic_design(DesignClass::Fft, 5000, 3);
+        assert!(body.validate().is_ok());
+        let n = body.dfg.num_ops();
+        assert!((4000..=6000).contains(&n), "got {n} ops");
+        // 5000 ops → ceil(5000/2000) = 3 kernels, each with its own output
+        let ports: Vec<String> = body.dfg.iter_ports().map(|(_, p)| p.name.clone()).collect();
+        for j in 0..3 {
+            assert!(
+                ports.iter().any(|name| name == &format!("k{j}_out")),
+                "missing kernel {j} output in {ports:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_designs_keep_the_single_kernel_shape() {
+        let body = synthetic_design(DesignClass::Filter, 300, 7);
+        let ports: Vec<String> = body.dfg.iter_ports().map(|(_, p)| p.name.clone()).collect();
+        assert!(ports.iter().any(|n| n == "out"), "{ports:?}");
+        assert!(ports.iter().all(|n| !n.starts_with("k0_")), "{ports:?}");
     }
 
     #[test]

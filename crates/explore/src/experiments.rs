@@ -233,6 +233,68 @@ pub struct Figure9Point {
     pub mux_inputs: usize,
 }
 
+/// Sizes at or above this schedule with region decomposition: the DFG is
+/// condensed into independently scheduled regions and only dirty regions
+/// re-pass during relaxation (see `hls_sched::region`).
+const FIGURE9_REGION_THRESHOLD: usize = 2500;
+
+/// Region size target for large Figure 9 points.
+const FIGURE9_REGION_TARGET: usize = 600;
+
+/// Schedules one Figure 9 point (class, clock, and micro-architecture keyed
+/// off the point index, as the sweep has always done). Sizes at or above
+/// [`FIGURE9_REGION_THRESHOLD`] turn on region decomposition and a larger
+/// pass budget; smaller sizes run the exact historical configuration.
+fn figure9_point(i: usize, target: usize, lib: &TechLibrary) -> Option<Figure9Point> {
+    let class = DesignClass::all()[i % 3];
+    let body = synthetic_design(class, target, 42 + i as u64);
+    let regions = target >= FIGURE9_REGION_THRESHOLD;
+    let start = Instant::now();
+    let result = if regions {
+        // Multi-kernel points: one sequential region-decomposed
+        // configuration for every size. The relaxed clock keeps the deep
+        // 32-bit multiply chains of the synthetic kernels feasible, and the
+        // wide latency window covers the deepest kernel the generator
+        // produces; the relaxer's batched resource additions converge in a
+        // bounded number of passes regardless of the op count.
+        let clock = ClockConstraint::from_period_ps(2200.0);
+        let mut config = SchedulerConfig::sequential(clock, 48, 192)
+            .with_region_decomposition(FIGURE9_REGION_TARGET);
+        config.max_passes = 4096;
+        Scheduler::new(&body, lib, config).run()
+    } else {
+        let clock = ClockConstraint::from_period_ps(if i % 2 == 0 { 1600.0 } else { 2200.0 });
+        let mut config = if i % 2 == 0 {
+            SchedulerConfig::sequential(clock, 1, 24)
+        } else {
+            SchedulerConfig::pipelined(clock, 2, 24)
+        };
+        config.max_passes = 256;
+        Scheduler::new(&body, lib, config).run().or_else(|_| {
+            // Fall back to a sequential schedule (mirroring what a designer
+            // would do when a pipelining request proves over-constrained);
+            // the point still contributes a (size, time) sample.
+            let mut fallback = SchedulerConfig::sequential(clock, 1, 48);
+            fallback.max_passes = 256;
+            Scheduler::new(&body, lib, fallback).run()
+        })
+    };
+    let seconds = start.elapsed().as_secs_f64();
+    result.ok().map(|schedule| {
+        let stats = bind_stats(&body, &schedule);
+        Figure9Point {
+            ops: body.dfg.num_ops(),
+            seconds,
+            latency: schedule.latency,
+            passes: schedule.passes,
+            class: format!("{class:?}"),
+            fus: stats.fu_count,
+            regs: stats.register_count,
+            mux_inputs: stats.mux_inputs,
+        }
+    })
+}
+
 /// Figure 9: scheduling time vs design size over a population of synthetic
 /// "industrial" designs. `sizes` controls the op-count sweep.
 ///
@@ -242,40 +304,7 @@ pub struct Figure9Point {
 /// for single-threaded per-point timings).
 pub fn figure9_scheduling_time(sizes: &[usize]) -> Vec<Figure9Point> {
     let lib = TechLibrary::artisan_90nm_typical();
-    let points = crate::parallel::map_indexed(sizes, |i, &target| {
-        let class = DesignClass::all()[i % 3];
-        let body = synthetic_design(class, target, 42 + i as u64);
-        let clock = ClockConstraint::from_period_ps(if i % 2 == 0 { 1600.0 } else { 2200.0 });
-        let mut config = if i % 2 == 0 {
-            SchedulerConfig::sequential(clock, 1, 24)
-        } else {
-            SchedulerConfig::pipelined(clock, 2, 24)
-        };
-        config.max_passes = 256;
-        let start = Instant::now();
-        let result = Scheduler::new(&body, &lib, config).run().or_else(|_| {
-            // Fall back to a sequential schedule (mirroring what a designer
-            // would do when a pipelining request proves over-constrained);
-            // the point still contributes a (size, time) sample.
-            let mut fallback = SchedulerConfig::sequential(clock, 1, 48);
-            fallback.max_passes = 256;
-            Scheduler::new(&body, &lib, fallback).run()
-        });
-        let seconds = start.elapsed().as_secs_f64();
-        result.ok().map(|schedule| {
-            let stats = bind_stats(&body, &schedule);
-            Figure9Point {
-                ops: body.dfg.num_ops(),
-                seconds,
-                latency: schedule.latency,
-                passes: schedule.passes,
-                class: format!("{class:?}"),
-                fus: stats.fu_count,
-                regs: stats.register_count,
-                mux_inputs: stats.mux_inputs,
-            }
-        })
-    });
+    let points = crate::parallel::map_indexed(sizes, |i, &target| figure9_point(i, target, &lib));
     points.into_iter().flatten().collect()
 }
 
@@ -286,6 +315,13 @@ pub fn figure9_default_sizes() -> Vec<usize> {
     vec![
         100, 150, 220, 320, 450, 600, 800, 1000, 1250, 1500, 1750, 2000,
     ]
+}
+
+/// The large region-decomposed sizes: multi-kernel designs an order of
+/// magnitude (and more) past the paper's biggest, schedulable in seconds
+/// thanks to per-region scheduling with incremental re-passes.
+pub fn figure9_large_sizes() -> Vec<usize> {
+    vec![10_000, 30_000, 100_000]
 }
 
 /// A measured Figure 9 sweep: the points plus the end-to-end wall-clock.
@@ -336,10 +372,27 @@ impl Figure9Sweep {
 /// Runs [`figure9_scheduling_time`] and measures the end-to-end wall-clock
 /// of the whole sweep — the headline perf-trajectory number.
 pub fn figure9_sweep(sizes: &[usize]) -> Figure9Sweep {
+    figure9_sweep_with_budget(sizes, None)
+}
+
+/// [`figure9_sweep`] with an optional wall-clock budget: once the budget is
+/// spent, points that have not started yet are skipped instead of scheduled
+/// (the first point always runs, so a sweep returns at least one sample).
+/// Skipped sizes count toward `requested` but contribute no point.
+pub fn figure9_sweep_with_budget(
+    sizes: &[usize],
+    budget: Option<std::time::Duration>,
+) -> Figure9Sweep {
+    let lib = TechLibrary::artisan_90nm_typical();
     let start = Instant::now();
-    let points = figure9_scheduling_time(sizes);
+    let points = crate::parallel::map_indexed(sizes, |i, &target| {
+        if i > 0 && budget.is_some_and(|b| start.elapsed() >= b) {
+            return None;
+        }
+        figure9_point(i, target, &lib)
+    });
     Figure9Sweep {
-        points,
+        points: points.into_iter().flatten().collect(),
         total_seconds: start.elapsed().as_secs_f64(),
         requested: sizes.len(),
     }
@@ -550,6 +603,25 @@ mod tests {
                 p.seconds
             );
         }
+    }
+
+    #[test]
+    fn figure9_budget_skips_later_points() {
+        let sweep = figure9_sweep_with_budget(&[120, 240, 400], Some(std::time::Duration::ZERO));
+        assert_eq!(sweep.requested, 3);
+        assert_eq!(
+            sweep.points.len(),
+            1,
+            "only the first point runs on a zero budget"
+        );
+        assert!(sweep.points[0].ops >= 100);
+    }
+
+    #[test]
+    fn figure9_region_path_schedules_a_multi_kernel_point() {
+        let points = figure9_scheduling_time(&[2600]);
+        assert_eq!(points.len(), 1, "the region-decomposed point schedules");
+        assert!(points[0].ops >= 2000, "{:?}", points[0]);
     }
 
     #[test]

@@ -19,9 +19,12 @@
 
 pub mod designs;
 pub mod experiments;
-pub mod parallel;
 pub mod pareto;
 pub mod verify;
+
+/// Deterministic order-stable parallel map (re-exported from `hls-sched`,
+/// which also uses it for intra-design region parallelism).
+pub use hls_sched::parallel;
 
 pub use designs::{idct8_design, synthetic_design, DesignClass};
 pub use experiments::{

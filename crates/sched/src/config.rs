@@ -24,6 +24,29 @@ impl PipelineRequest {
     }
 }
 
+/// Region decomposition options (see [`crate::region`]).
+///
+/// When enabled, the scheduler condenses the DFG's SCC graph into regions of
+/// roughly `target_ops` operations each, schedules them separately with
+/// registered cut-value interfaces, and re-passes only dirty regions after a
+/// relaxation action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegionOptions {
+    /// Rough number of operations per region. Regions never split an SCC, so
+    /// a single SCC larger than the target becomes a region of its own.
+    pub target_ops: usize,
+}
+
+impl RegionOptions {
+    /// Creates region options with the given target region size (clamped to
+    /// at least one operation per region).
+    pub fn new(target_ops: usize) -> Self {
+        RegionOptions {
+            target_ops: target_ops.max(1),
+        }
+    }
+}
+
 /// Full configuration of a scheduling run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SchedulerConfig {
@@ -53,6 +76,11 @@ pub struct SchedulerConfig {
     /// Whether the relaxation engine may add resources beyond the initial
     /// lower-bound set.
     pub allow_add_resources: bool,
+    /// Region decomposition: `None` (the default) schedules the body as one
+    /// monolithic region; `Some` splits it along SCC-condensation cuts so
+    /// large designs re-pass only dirty regions (and independent region
+    /// groups run on multiple cores).
+    pub region_decomposition: Option<RegionOptions>,
 }
 
 impl SchedulerConfig {
@@ -68,6 +96,7 @@ impl SchedulerConfig {
             allow_scc_move: true,
             avoid_comb_cycles: true,
             allow_add_resources: true,
+            region_decomposition: None,
         }
     }
 
@@ -86,7 +115,15 @@ impl SchedulerConfig {
             allow_scc_move: true,
             avoid_comb_cycles: true,
             allow_add_resources: true,
+            region_decomposition: None,
         }
+    }
+
+    /// Enables region-decomposed scheduling with the given target region
+    /// size (see [`RegionOptions`] and [`crate::region`]).
+    pub fn with_region_decomposition(mut self, target_ops: usize) -> Self {
+        self.region_decomposition = Some(RegionOptions::new(target_ops));
+        self
     }
 
     /// Disables the timing-driven SCC move action (used by the Table 4

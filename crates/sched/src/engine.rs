@@ -1,6 +1,6 @@
-//! The dense, incremental scheduling engine behind both [`schedule_pass`]
-//! (one-shot, from scratch) and the multi-pass [`Scheduler`] driver
-//! (incremental across relaxation actions).
+//! The dense, incremental, region-aware scheduling engine behind both
+//! [`schedule_pass`] (one-shot, from scratch) and the multi-pass
+//! [`Scheduler`] driver (incremental across relaxation actions).
 //!
 //! [`schedule_pass`]: crate::pass::schedule_pass
 //! [`Scheduler`]: crate::scheduler::Scheduler
@@ -8,46 +8,64 @@
 //! # Arena layout
 //!
 //! Every hot table is a flat `Vec` indexed by dense ids: per-operation state
-//! lives in [`DenseOpMap`]-style vectors (`placed`, `first_considered`,
+//! lives in region-local vectors (`placed`, `first_considered`,
 //! `last_reasons`), resource classes are interned to [`ResourceClassId`]s,
-//! the busy table is one `Vec` indexed by
-//! `instance * fold_states + folded_state`, and the combinational-cycle
-//! graph is an adjacency `Vec` over resource indices with epoch-marked DFS.
-//! Nothing on the placement path hashes a key or allocates.
+//! the busy table is one `Vec` per region indexed by
+//! `local_instance * fold_states + folded_state`, and the
+//! combinational-cycle graph is an adjacency `Vec` over region-local
+//! resource indices with epoch-marked DFS. Nothing on the placement path
+//! hashes a key or allocates.
+//!
+//! # Regions
+//!
+//! The engine always schedules through a [`RegionPlan`]. The default plan is
+//! trivial — one region holding every op, which reproduces the historical
+//! monolithic behavior exactly. A non-trivial plan (built by
+//! [`RegionPlan::build`] from the SCC condensation) splits the body into
+//! topologically ordered regions with **registered cut-value interfaces**: a
+//! consumer in another region becomes ready only in a *strictly later* state
+//! than its producer and always sees a register-launch arrival. Because
+//! cross-region readiness depends only on strictly earlier states, the
+//! global state-major fixpoint decomposes into independent per-region
+//! fixpoints, and scheduling the regions one after the other (or independent
+//! weakly-connected groups in parallel via
+//! [`map_indexed`](crate::parallel::map_indexed)) produces exactly the
+//! schedule one monolithic pass under the same cut rule would.
 //!
 //! # Incremental re-passes
 //!
 //! The greedy pass is deterministic: given (latency, resources, forbidden
-//! bindings, SCC stages) it always makes the same decisions in the same
-//! order. The engine snapshots the mutable pass state at the start of every
-//! control step. When a relaxation action changes one of the inputs, the
-//! next pass resumes from the earliest state whose decisions could possibly
-//! observe the change, replaying only the invalidated cone:
+//! bindings, SCC stages, upstream interface states) a region always makes
+//! the same decisions in the same order. Each region snapshots its mutable
+//! state at the start of every control step and carries a private `resume`
+//! watermark; a relaxation action dirties only the regions that can observe
+//! it:
 //!
-//! * `AddState` — nothing before the old latency can observe the new state
-//!   (the priority order is compared explicitly; if mobility saturation
-//!   reordered ops the pass falls back to a full re-run), so the pass
-//!   *continues* from the previous final state;
-//! * `AddResource(ty)` — only operations of `ty`'s class observe the new
-//!   instance (compatibility lists and sharing factors are per class), so
-//!   the pass resumes from the first state where any such operation was
-//!   considered;
-//! * `MoveScc` — only members of the moved SCC observe their stage window,
-//!   so the pass resumes from the first state where one was considered;
-//! * `ForbidBinding` — only the forbidden operation observes the set, so
-//!   the pass resumes from the first state where it was considered.
+//! * `AddState` — every region continues from the previous final state
+//!   (or replays fully if mobility saturation reordered its priorities);
+//! * `AddResource(ty)` — the instance is added to the pool of the region
+//!   owning the restraint that provoked it; only that region re-passes,
+//!   from the first state where a member of `ty`'s class was considered;
+//! * `MoveScc` — only the region containing the SCC re-passes;
+//! * `ForbidBinding` — only the region containing the op re-passes.
 //!
-//! Everything before the resume point is restored from the snapshot in
-//! O(ops); the busy table and combinational graph are pure functions of the
-//! placement and are rebuilt from it. The replayed suffix makes exactly the
-//! decisions a from-scratch pass would make, which is what the
-//! schedule-equivalence regression suite (`tests/schedule_equivalence.rs`)
-//! asserts against [`Scheduler::run_reference`].
+//! After a region re-runs, its boundary interface (the states of its
+//! cut-value producers) is diffed against the last published one; consumer
+//! regions replay only if an interface state actually moved, and only from
+//! the earliest state that can observe the move. Everything else keeps its
+//! cached result — including its failure-report fragment, so a failed
+//! pass's restraints are assembled without touching clean regions.
+//!
+//! The replayed work makes exactly the decisions a from-scratch pass would
+//! make, which is what the schedule-equivalence regression suite
+//! (`tests/schedule_equivalence.rs`) asserts against
+//! [`Scheduler::run_reference`].
 //!
 //! [`Scheduler::run_reference`]: crate::scheduler::Scheduler::run_reference
 
 use crate::config::SchedulerConfig;
 use crate::pass::PassFailure;
+use crate::region::RegionPlan;
 use crate::relax::{RelaxAction, Restraint};
 use hls_ir::analysis::Scc;
 use hls_ir::{LinearBody, OpId, OpKind, PinnedState};
@@ -57,6 +75,58 @@ use hls_tech::{
     Interner, ResourceClass, ResourceClassId, ResourceInstanceId, ResourceSet, ResourceType,
     ResourceTypeId, TechLibrary,
 };
+use std::sync::{Arc, Mutex};
+
+/// Resume watermark marking a region that does not need to re-pass.
+const CLEAN: u32 = u32::MAX;
+
+/// Cap on the transitive-fanout cone count used as a scheduling-priority
+/// tie-breaker. Counting the exact cone is O(V·E) over the whole body, which
+/// dominates setup on 100k-op designs; cones at or above the cap all compare
+/// equal, and the remaining tie-breaker (op id) keeps the order
+/// deterministic. The cap exceeds every design the equivalence suite runs
+/// uncapped comparisons on, and both the engine and the reference pass use
+/// the same capped helper, so the two drivers stay bit-identical.
+pub(crate) const FANOUT_CONE_CAP: usize = 4096;
+
+/// Transitive distance-0 fanout cone size per op, counting at most `cap`
+/// distinct consumers (the DFS stops early once the cap is hit).
+pub(crate) fn fanout_cone_sizes(body: &LinearBody, cap: usize) -> Vec<usize> {
+    let n = body.dfg.num_ops();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (id, op) in body.dfg.iter_ops() {
+        for sig in &op.inputs {
+            if sig.distance == 0 {
+                if let Some(p) = sig.producer() {
+                    succs[p.index()].push(id.index());
+                }
+            }
+        }
+    }
+    let mut fanout = vec![0usize; n];
+    let mut mark = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    for (root, cone) in fanout.iter_mut().enumerate() {
+        let mut count = 0usize;
+        stack.clear();
+        stack.push(root);
+        // the root itself is not part of its cone unless reached again
+        'dfs: while let Some(v) = stack.pop() {
+            for &s in &succs[v] {
+                if mark[s] != root {
+                    mark[s] = root;
+                    count += 1;
+                    if count >= cap {
+                        break 'dfs;
+                    }
+                    stack.push(s);
+                }
+            }
+        }
+        *cone = count;
+    }
+    fanout
+}
 
 /// Cached predicate literals for the allocation-free mutual-exclusivity
 /// test. `lits` is sorted by condition op (the order `Predicate::literals`
@@ -133,8 +203,6 @@ struct PassStatics {
     has_side_effects: Vec<bool>,
     pred_lits: Vec<PredLits>,
     scc_of: Vec<Option<u32>>,
-    /// Datapath operations per interned class (sharing-factor numerator).
-    ops_per_class: Vec<usize>,
     /// Whether the op is a free/IO op whose arrival is a register launch.
     launches_from_register: Vec<bool>,
 }
@@ -185,27 +253,7 @@ impl PassStatics {
             below[id.index()] = l;
         }
 
-        // Transitive fanout cone sizes (distinct distance-0 consumers), with
-        // a shared adjacency and an epoch-marked visited set.
-        let mut fanout = vec![0usize; n];
-        let mut mark = vec![usize::MAX; n];
-        let mut stack: Vec<usize> = Vec::new();
-        for (root, cone) in fanout.iter_mut().enumerate() {
-            let mut count = 0usize;
-            stack.clear();
-            stack.push(root);
-            // the root itself is not part of its cone unless reached again
-            while let Some(v) = stack.pop() {
-                for &s in &succs[v] {
-                    if mark[s] != root {
-                        mark[s] = root;
-                        count += 1;
-                        stack.push(s);
-                    }
-                }
-            }
-            *cone = count;
-        }
+        let fanout = fanout_cone_sizes(body, FANOUT_CONE_CAP);
 
         let mut required_ty = vec![None; n];
         let mut needs_resource = vec![false; n];
@@ -218,7 +266,6 @@ impl PassStatics {
         let mut has_side_effects = vec![false; n];
         let mut pred_lits = vec![PredLits::default(); n];
         let mut launches_from_register = vec![false; n];
-        let mut ops_per_class: Vec<usize> = Vec::new();
         for (id, op) in body.dfg.iter_ops() {
             let i = id.index();
             let ty = ResourceType::for_op(op);
@@ -227,10 +274,6 @@ impl PassStatics {
                     needs_resource[i] = true;
                     complexity[i] = lib.delay_ps(ty);
                     let cid = interner.class_id(&ty.class);
-                    if cid.index() >= ops_per_class.len() {
-                        ops_per_class.resize(cid.index() + 1, 0);
-                    }
-                    ops_per_class[cid.index()] += 1;
                     class_id[i] = Some(cid);
                     let tid = interner.type_id(ty);
                     if tid.index() >= type_delay.len() {
@@ -279,10 +322,32 @@ impl PassStatics {
             has_side_effects,
             pred_lits,
             scc_of,
-            ops_per_class,
             launches_from_register,
         }
     }
+}
+
+/// Priority order for a given latency: complexity (delay) descending,
+/// then mobility ascending, then fanout cone descending, then id —
+/// exactly the comparator of the original per-round `ready.sort_by`.
+fn order_for(s: &PassStatics, latency: u32) -> Vec<OpId> {
+    let latency = latency.max(1);
+    let depth = latency.saturating_sub(1);
+    let mobility = |i: usize| -> u32 {
+        let alap = depth.saturating_sub(s.below[i]);
+        alap.saturating_sub(s.asap[i])
+    };
+    let mut order: Vec<OpId> = (0..s.n as u32).map(OpId::from_raw).collect();
+    order.sort_by(|&a, &b| {
+        let (ia, ib) = (a.index(), b.index());
+        s.complexity[ib]
+            .partial_cmp(&s.complexity[ia])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| mobility(ia).cmp(&mobility(ib)))
+            .then_with(|| s.fanout[ib].cmp(&s.fanout[ia]))
+            .then_with(|| a.cmp(&b))
+    });
+    order
 }
 
 /// One placed operation: its control step, binding and output arrival time.
@@ -293,72 +358,65 @@ struct PlacedOp {
     arrival: f64,
 }
 
-/// The mutable pass state — everything a control step's decisions can read
-/// or write. Cloning it (one `Vec` clone per field) is what a per-state
-/// snapshot costs; the busy table and combinational graph are derived from
-/// `placed` and deliberately excluded.
+/// The mutable per-region pass state — everything a control step's decisions
+/// inside one region can read or write. Cloning it (one `Vec` clone per
+/// field) is what a per-state snapshot costs; the busy table and
+/// combinational graph are derived from `placed` and deliberately excluded.
+/// All vectors are indexed by the *region-local* op index except
+/// `scc_dyn_stage`, which stays global-SCC-indexed (an SCC is always wholly
+/// inside one region, so only its owner ever reads or writes its entry).
 #[derive(Clone)]
-struct Frame {
+struct RegionFrame {
     placed: Vec<Option<PlacedOp>>,
     num_placed: usize,
     scc_dyn_stage: Vec<Option<u32>>,
     /// Reasons recorded by the op's latest failed binding attempt; `None`
     /// means the op was never attempted (the failure report treats an
     /// attempted-but-reasonless op differently from a never-attempted one).
-    last_reasons: Vec<Option<Vec<Restraint>>>,
+    /// `Arc` so per-state snapshots clone a pointer, not the restraint list.
+    last_reasons: Vec<Option<Arc<Vec<Restraint>>>>,
     first_considered: Vec<Option<u32>>,
     min_slack: f64,
 }
 
-impl Frame {
-    fn fresh(n: usize, scc_stage_input: &[Option<u32>]) -> Self {
-        Frame {
-            placed: vec![None; n],
+impl RegionFrame {
+    fn fresh(n_local: usize, scc_stage_input: &[Option<u32>]) -> Self {
+        RegionFrame {
+            placed: vec![None; n_local],
             num_placed: 0,
             scc_dyn_stage: scc_stage_input.to_vec(),
-            last_reasons: vec![None; n],
-            first_considered: vec![None; n],
+            last_reasons: vec![None; n_local],
+            first_considered: vec![None; n_local],
             min_slack: f64::INFINITY,
         }
     }
 }
 
-/// Outcome of one engine pass (the schedule itself stays inside the engine
-/// until the driver extracts it, so success allocates nothing).
-pub(crate) enum EngineOutcome {
-    Success { min_slack_ps: f64 },
-    Failure(PassFailure),
-}
-
-/// The incremental scheduling engine. Owns the allocated resources, the
-/// relaxation inputs and the persisted pass state; `run_pass(resume_from)`
-/// executes one (possibly partial) pass and `apply` folds a relaxation
-/// action in, returning the resume point for the next pass.
-pub(crate) struct Engine<'a> {
-    body: &'a LinearBody,
-    lib: &'a TechLibrary,
-    config: &'a SchedulerConfig,
-    statics: PassStatics,
-    interner: Interner,
-    timing: ChainTiming<'a>,
-    sccs: &'a [Scc],
-
-    // relaxation inputs
-    pub(crate) resources: ResourceSet,
-    forbidden: Vec<Vec<ResourceInstanceId>>,
-    scc_stage_input: Vec<Option<u32>>,
-    pub(crate) latency: u32,
-
-    // derived, maintained across passes
-    insts_per_class: Vec<usize>,
-    /// Interned type per resource instance, in instance-id order.
-    inst_type_ids: Vec<ResourceTypeId>,
-    compat: Vec<Vec<ResourceInstanceId>>,
+/// Per-region runtime: the region's slice of the problem (members, priority
+/// order, resource pool), its persisted pass state, its scratch tables and
+/// its incremental bookkeeping (resume watermark, published interface,
+/// cached failure fragment).
+struct RegionRt {
+    /// Member ops (global indices) in plan order — the local index layout.
+    members: Vec<u32>,
+    /// Global priority order filtered to this region's members.
     order: Vec<OpId>,
+    /// The region's resource instances (ascending global instance ids).
+    insts: Vec<ResourceInstanceId>,
+    /// Datapath members per interned class (sharing-factor numerator).
+    ops_per_class: Vec<usize>,
+    /// Pool instances per interned class (sharing-factor denominator).
+    insts_per_class: Vec<usize>,
 
-    // persisted pass state
-    frame: Frame,
-    snapshots: Vec<Frame>,
+    frame: RegionFrame,
+    snapshots: Vec<RegionFrame>,
+    /// Earliest state the next pass must replay from; [`CLEAN`] = skip.
+    resume: u32,
+    /// Last published boundary interface: the state of each boundary op
+    /// (`plan.regions[r].boundary` order), `None` while unplaced.
+    iface: Vec<Option<u32>>,
+    /// Cached failure-report fragment from the region's last run.
+    fail: Vec<(OpId, Vec<Restraint>)>,
 
     // scratch reused across passes
     busy: Vec<Vec<OpId>>,
@@ -369,7 +427,51 @@ pub(crate) struct Engine<'a> {
     in_arrivals: Vec<f64>,
 }
 
+/// Outcome of one engine pass (the schedule itself stays inside the engine
+/// until the driver extracts it, so success allocates nothing).
+pub(crate) enum EngineOutcome {
+    Success { min_slack_ps: f64 },
+    Failure(PassFailure),
+}
+
+/// The incremental scheduling engine. Owns the allocated resources, the
+/// relaxation inputs and the persisted per-region pass state; `run_pass()`
+/// executes one (possibly partial, possibly parallel) pass over the dirty
+/// regions and `apply` folds a relaxation action in, dirtying exactly the
+/// regions that can observe it.
+pub(crate) struct Engine<'a> {
+    body: &'a LinearBody,
+    lib: &'a TechLibrary,
+    config: &'a SchedulerConfig,
+    statics: PassStatics,
+    interner: Interner,
+    timing: ChainTiming<'a>,
+    sccs: &'a [Scc],
+    plan: RegionPlan,
+
+    // relaxation inputs
+    pub(crate) resources: ResourceSet,
+    forbidden: Vec<Vec<ResourceInstanceId>>,
+    scc_stage_input: Vec<Option<u32>>,
+    pub(crate) latency: u32,
+
+    // derived per-instance tables, maintained across passes
+    /// Interned type per resource instance, in instance-id order.
+    inst_type_ids: Vec<ResourceTypeId>,
+    /// Region-local index per resource instance (the owning region is
+    /// implied: an instance only ever appears in its own region's tables).
+    inst_local: Vec<u32>,
+    /// Compatible instances per op, restricted to the op's region pool.
+    compat: Vec<Vec<ResourceInstanceId>>,
+    /// Global priority order (regions filter it to their members).
+    order: Vec<OpId>,
+
+    regions: Vec<RegionRt>,
+}
+
 impl<'a> Engine<'a> {
+    /// Monolithic construction: the trivial single-region plan over the
+    /// caller-provided resource set — the historical engine behavior.
     pub(crate) fn new(
         body: &'a LinearBody,
         lib: &'a TechLibrary,
@@ -378,11 +480,141 @@ impl<'a> Engine<'a> {
         resources: ResourceSet,
         latency: u32,
     ) -> Self {
+        let plan = RegionPlan::trivial(body.dfg.num_ops());
+        let inst_region = vec![0u32; resources.len()];
+        Self::init(
+            body,
+            lib,
+            config,
+            sccs,
+            plan,
+            resources,
+            inst_region,
+            latency,
+        )
+    }
+
+    /// Region-decomposed construction: the global resource set is the
+    /// concatenation of per-region lower-bound pools (so binding never
+    /// contends across regions, and the single-region fallback is
+    /// byte-identical to [`Engine::new`] over `initial_resource_set`).
+    pub(crate) fn new_with_plan(
+        body: &'a LinearBody,
+        lib: &'a TechLibrary,
+        config: &'a SchedulerConfig,
+        sccs: &'a [Scc],
+        plan: RegionPlan,
+        slots_per_instance: u32,
+        latency: u32,
+    ) -> Self {
+        let pools = crate::region::region_pools(body, &plan, slots_per_instance);
+        let (resources, inst_region) = crate::region::concat_pools(&pools);
+        Self::init(
+            body,
+            lib,
+            config,
+            sccs,
+            plan,
+            resources,
+            inst_region,
+            latency,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn init(
+        body: &'a LinearBody,
+        lib: &'a TechLibrary,
+        config: &'a SchedulerConfig,
+        sccs: &'a [Scc],
+        plan: RegionPlan,
+        resources: ResourceSet,
+        inst_region: Vec<u32>,
+        latency: u32,
+    ) -> Self {
         let mut interner = Interner::new();
-        let statics = PassStatics::build(body, lib, sccs, &mut interner);
+        let mut statics = PassStatics::build(body, lib, sccs, &mut interner);
         let n = statics.n;
-        let num_classes = interner.num_classes();
-        let mut engine = Engine {
+        let num_regions = plan.regions.len();
+        debug_assert_eq!(inst_region.len(), resources.len());
+
+        // Per-instance tables, in instance-id order (the interning order the
+        // monolithic engine used: class first, then type, per instance).
+        let mut inst_type_ids: Vec<ResourceTypeId> = Vec::with_capacity(resources.len());
+        let mut inst_local: Vec<u32> = Vec::with_capacity(resources.len());
+        let mut insts_by_region: Vec<Vec<ResourceInstanceId>> = vec![Vec::new(); num_regions];
+        let mut insts_per_class_by_region: Vec<Vec<usize>> = vec![Vec::new(); num_regions];
+        for inst in resources.iter() {
+            let cid = interner.class_id(&inst.ty.class);
+            let tid = interner.type_id(&inst.ty);
+            if tid.index() >= statics.type_delay.len() {
+                statics.type_delay.push(lib.delay_ps(&inst.ty));
+                statics.type_width.push(inst.ty.max_width());
+            }
+            inst_type_ids.push(tid);
+            let r = inst_region[inst.id.index()] as usize;
+            inst_local.push(insts_by_region[r].len() as u32);
+            insts_by_region[r].push(inst.id);
+            let per_class = &mut insts_per_class_by_region[r];
+            if cid.index() >= per_class.len() {
+                per_class.resize(cid.index() + 1, 0);
+            }
+            per_class[cid.index()] += 1;
+        }
+
+        let scc_stage_input: Vec<Option<u32>> = vec![None; sccs.len()];
+        let latency = latency.max(1);
+        let order = order_for(&statics, latency);
+        let mut region_orders: Vec<Vec<OpId>> = vec![Vec::new(); num_regions];
+        for &op in &order {
+            region_orders[plan.region_of[op.index()] as usize].push(op);
+        }
+
+        let mut regions: Vec<RegionRt> = Vec::with_capacity(num_regions);
+        for (ri, info) in plan.regions.iter().enumerate() {
+            let members = info.ops.clone();
+            let mut ops_per_class: Vec<usize> = Vec::new();
+            for &g in &members {
+                if let Some(cid) = statics.class_id[g as usize] {
+                    if cid.index() >= ops_per_class.len() {
+                        ops_per_class.resize(cid.index() + 1, 0);
+                    }
+                    ops_per_class[cid.index()] += 1;
+                }
+            }
+            regions.push(RegionRt {
+                frame: RegionFrame::fresh(members.len(), &scc_stage_input),
+                members,
+                order: std::mem::take(&mut region_orders[ri]),
+                insts: std::mem::take(&mut insts_by_region[ri]),
+                ops_per_class,
+                insts_per_class: std::mem::take(&mut insts_per_class_by_region[ri]),
+                snapshots: Vec::new(),
+                resume: 0,
+                iface: vec![None; info.boundary.len()],
+                fail: Vec::new(),
+                busy: Vec::new(),
+                comb_succ: Vec::new(),
+                comb_mark: Vec::new(),
+                comb_epoch: 0,
+                ready: Vec::with_capacity(regions_capacity_hint(n, num_regions)),
+                in_arrivals: Vec::with_capacity(8),
+            });
+        }
+
+        let mut compat: Vec<Vec<ResourceInstanceId>> = vec![Vec::new(); n];
+        for (i, slot) in compat.iter_mut().enumerate() {
+            if let Some(req) = &statics.required_ty[i] {
+                let ri = plan.region_of[i] as usize;
+                for &res_id in &regions[ri].insts {
+                    if Self::type_can_implement(req, &resources.instance(res_id).ty) {
+                        slot.push(res_id);
+                    }
+                }
+            }
+        }
+
+        Engine {
             body,
             lib,
             config,
@@ -390,31 +622,17 @@ impl<'a> Engine<'a> {
             interner,
             timing: ChainTiming::new(lib, config.clock),
             sccs,
-            resources: ResourceSet::new(),
+            plan,
+            resources,
             forbidden: vec![Vec::new(); n],
-            scc_stage_input: vec![None; sccs.len()],
-            latency: latency.max(1),
-            insts_per_class: vec![0; num_classes],
-            inst_type_ids: Vec::new(),
-            compat: vec![Vec::new(); n],
-            order: Vec::new(),
-            frame: Frame::fresh(n, &[]),
-            snapshots: Vec::new(),
-            busy: Vec::new(),
-            comb_succ: Vec::new(),
-            comb_mark: Vec::new(),
-            comb_epoch: 0,
-            ready: Vec::with_capacity(n),
-            in_arrivals: Vec::with_capacity(8),
-        };
-        engine.frame = Frame::fresh(n, &engine.scc_stage_input);
-        for inst in resources.iter() {
-            engine.note_instance(&inst.ty);
+            scc_stage_input,
+            latency,
+            inst_type_ids,
+            inst_local,
+            compat,
+            order,
+            regions,
         }
-        engine.resources = resources;
-        engine.rebuild_compat();
-        engine.order = engine.order_for(engine.latency);
-        engine
     }
 
     /// Seeds the relaxation inputs (used by the one-shot `schedule_pass`
@@ -434,29 +652,19 @@ impl<'a> Engine<'a> {
                 self.scc_stage_input[scc] = Some(stage);
             }
         }
-        self.frame = Frame::fresh(self.statics.n, &self.scc_stage_input);
+        let pins = &self.scc_stage_input;
+        for rt in &mut self.regions {
+            rt.frame = RegionFrame::fresh(rt.members.len(), pins);
+            rt.snapshots.clear();
+            rt.resume = 0;
+            rt.iface = vec![None; rt.iface.len()];
+            rt.fail.clear();
+        }
     }
 
-    /// The SCC stage inputs in the `HashMap`-like shape `choose_action` uses.
+    /// The SCC stage inputs, dense over SCC index.
     pub(crate) fn scc_stage(&self) -> &[Option<u32>] {
         &self.scc_stage_input
-    }
-
-    fn note_instance(&mut self, ty: &ResourceType) {
-        let cid = self.interner.class_id(&ty.class);
-        if cid.index() >= self.insts_per_class.len() {
-            self.insts_per_class.resize(cid.index() + 1, 0);
-        }
-        if cid.index() >= self.statics.ops_per_class.len() {
-            self.statics.ops_per_class.resize(cid.index() + 1, 0);
-        }
-        self.insts_per_class[cid.index()] += 1;
-        let tid = self.interner.type_id(ty);
-        if tid.index() >= self.statics.type_delay.len() {
-            self.statics.type_delay.push(self.lib.delay_ps(ty));
-            self.statics.type_width.push(ty.max_width());
-        }
-        self.inst_type_ids.push(tid);
     }
 
     /// Mirrors `ResourceType::can_implement` given the op's precomputed
@@ -472,80 +680,56 @@ impl<'a> Engine<'a> {
                 .all(|(need, h)| need <= h)
     }
 
-    fn rebuild_compat(&mut self) {
-        for c in &mut self.compat {
-            c.clear();
-        }
-        for i in 0..self.statics.n {
-            if let Some(req) = &self.statics.required_ty[i] {
-                for inst in self.resources.iter() {
-                    if Self::type_can_implement(req, &inst.ty) {
-                        self.compat[i].push(inst.id);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Priority order for a given latency: complexity (delay) descending,
-    /// then mobility ascending, then fanout cone descending, then id —
-    /// exactly the comparator of the original per-round `ready.sort_by`.
-    fn order_for(&self, latency: u32) -> Vec<OpId> {
-        let latency = latency.max(1);
-        let depth = latency.saturating_sub(1);
-        let s = &self.statics;
-        let mobility = |i: usize| -> u32 {
-            let alap = depth.saturating_sub(s.below[i]);
-            alap.saturating_sub(s.asap[i])
-        };
-        let mut order: Vec<OpId> = (0..s.n as u32).map(OpId::from_raw).collect();
-        order.sort_by(|&a, &b| {
-            let (ia, ib) = (a.index(), b.index());
-            s.complexity[ib]
-                .partial_cmp(&s.complexity[ia])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| mobility(ia).cmp(&mobility(ib)))
-                .then_with(|| s.fanout[ib].cmp(&s.fanout[ia]))
-                .then_with(|| a.cmp(&b))
-        });
-        order
-    }
-
-    /// Applies a relaxation action and returns the state the next pass must
-    /// resume from to stay bit-exact with a from-scratch pass.
-    pub(crate) fn apply(&mut self, action: &RelaxAction) -> u32 {
+    /// Applies a relaxation action, dirtying exactly the regions whose next
+    /// pass can observe it (each region tracks its own resume watermark).
+    /// `restraints` is the failed pass's restraint list — `AddResource`
+    /// derives the owning region from the restraint that provoked it.
+    pub(crate) fn apply(&mut self, action: &RelaxAction, restraints: &[Restraint]) {
         match action {
             RelaxAction::AddState => {
                 let old_latency = self.latency;
                 self.latency += 1;
-                let new_order = self.order_for(self.latency);
+                let new_order = order_for(&self.statics, self.latency);
                 if new_order == self.order {
-                    old_latency
+                    // nothing before the old latency can observe the new
+                    // state: every region continues from its final state
+                    for rt in &mut self.regions {
+                        rt.resume = rt.resume.min(old_latency);
+                    }
                 } else {
-                    // mobility saturation reordered the priorities; a
-                    // truncated-latency prefix is no longer reusable
+                    // mobility saturation reordered the priorities; regions
+                    // whose filtered order survived still only append, the
+                    // rest replay from scratch
                     self.order = new_order;
-                    0
+                    let mut region_orders: Vec<Vec<OpId>> = vec![Vec::new(); self.regions.len()];
+                    for &op in &self.order {
+                        region_orders[self.plan.region_of[op.index()] as usize].push(op);
+                    }
+                    for (rt, new_ord) in self.regions.iter_mut().zip(region_orders) {
+                        let resume = if new_ord == rt.order {
+                            old_latency
+                        } else {
+                            rt.order = new_ord;
+                            0
+                        };
+                        rt.resume = rt.resume.min(resume);
+                    }
                 }
             }
             RelaxAction::AddResource(ty) => {
-                let inst_id = self.resources.add(ty.clone());
-                self.note_instance(ty);
-                let cid = self.interner.class_id(&ty.class);
-                let new_ty = &self.resources.instance(inst_id).ty;
-                let mut resume = None;
-                for i in 0..self.statics.n {
-                    if self.statics.class_id[i] != Some(cid) {
-                        continue;
-                    }
-                    if let Some(req) = &self.statics.required_ty[i] {
-                        if Self::type_can_implement(req, new_ty) {
-                            self.compat[i].push(inst_id);
-                        }
-                    }
-                    resume = min_opt(resume, self.frame.first_considered[i]);
+                let owner = crate::region::owner_region(restraints, ty, &self.plan.region_of);
+                self.add_instance(ty, owner);
+            }
+            RelaxAction::AddResourceBatch { ty, count } => {
+                let owners = crate::region::batch_owner_regions(
+                    restraints,
+                    ty,
+                    *count,
+                    &self.plan.region_of,
+                );
+                for owner in owners {
+                    self.add_instance(ty, owner);
                 }
-                resume.unwrap_or(0)
             }
             RelaxAction::MoveScc { scc_index } => {
                 let cur = self
@@ -557,19 +741,67 @@ impl<'a> Engine<'a> {
                 if *scc_index < self.scc_stage_input.len() {
                     self.scc_stage_input[*scc_index] = Some(cur + 1);
                 }
-                let mut resume = None;
                 if let Some(scc) = self.sccs.get(*scc_index) {
+                    let owner = self.plan.region_of[scc.ops[0].index()];
+                    let local_of = &self.plan.local_of;
+                    let rt = &mut self.regions[owner as usize];
+                    let mut resume = None;
                     for &op in &scc.ops {
-                        resume = min_opt(resume, self.frame.first_considered[op.index()]);
+                        resume = min_opt(
+                            resume,
+                            rt.frame.first_considered[local_of[op.index()] as usize],
+                        );
                     }
+                    rt.resume = rt.resume.min(resume.unwrap_or(0));
                 }
-                resume.unwrap_or(0)
             }
             RelaxAction::ForbidBinding { op, resource } => {
                 self.forbidden[op.index()].push(*resource);
-                self.frame.first_considered[op.index()].unwrap_or(0)
+                let owner = self.plan.region_of[op.index()];
+                let local = self.plan.local_of[op.index()] as usize;
+                let rt = &mut self.regions[owner as usize];
+                let fc = rt.frame.first_considered[local];
+                rt.resume = rt.resume.min(fc.unwrap_or(0));
             }
         }
+    }
+
+    /// Adds one fresh instance of `ty` to `owner`'s pool, extending the
+    /// interner tables, the compatibility lists of the region's members, and
+    /// rewinding the region's resume watermark to the first state where a
+    /// member of the matching class was considered.
+    fn add_instance(&mut self, ty: &ResourceType, owner: u32) {
+        let inst_id = self.resources.add(ty.clone());
+        let cid = self.interner.class_id(&ty.class);
+        let tid = self.interner.type_id(ty);
+        if tid.index() >= self.statics.type_delay.len() {
+            self.statics.type_delay.push(self.lib.delay_ps(ty));
+            self.statics.type_width.push(ty.max_width());
+        }
+        self.inst_type_ids.push(tid);
+        let local_of = &self.plan.local_of;
+        let rt = &mut self.regions[owner as usize];
+        self.inst_local.push(rt.insts.len() as u32);
+        rt.insts.push(inst_id);
+        if cid.index() >= rt.insts_per_class.len() {
+            rt.insts_per_class.resize(cid.index() + 1, 0);
+        }
+        rt.insts_per_class[cid.index()] += 1;
+        let new_ty = &self.resources.instance(inst_id).ty;
+        let mut resume = None;
+        for &g in &rt.members {
+            let i = g as usize;
+            if self.statics.class_id[i] != Some(cid) {
+                continue;
+            }
+            if let Some(req) = &self.statics.required_ty[i] {
+                if Self::type_can_implement(req, new_ty) {
+                    self.compat[i].push(inst_id);
+                }
+            }
+            resume = min_opt(resume, rt.frame.first_considered[local_of[i] as usize]);
+        }
+        rt.resume = rt.resume.min(resume.unwrap_or(0));
     }
 
     fn fold(&self, state: u32, ii: u32) -> u32 {
@@ -584,134 +816,311 @@ impl<'a> Engine<'a> {
         dyn_stage[idx].map(|stage| (stage * ii, (stage * ii + ii - 1).min(self.latency - 1)))
     }
 
-    /// Rebuilds the busy table and combinational graph from the current
-    /// placement (they are pure functions of it).
-    fn rebuild_derived(&mut self, fold_states: u32, ii: u32) {
-        let slots = self.resources.len() * fold_states as usize;
-        for b in &mut self.busy {
+    /// Rebuilds one region's busy table and combinational graph from its
+    /// current placement (they are pure functions of it). Only same-region
+    /// producer/consumer pairs can chain combinationally: a cross-region
+    /// value is registered by the cut rule, so it never shares a state.
+    fn rebuild_derived(&self, cur: &mut RegionRt, fold_states: u32, ii: u32) {
+        let slots = cur.insts.len() * fold_states as usize;
+        for b in &mut cur.busy {
             b.clear();
         }
-        if self.busy.len() < slots {
-            self.busy.resize_with(slots, Vec::new);
+        if cur.busy.len() < slots {
+            cur.busy.resize_with(slots, Vec::new);
         }
-        for c in &mut self.comb_succ {
+        for c in &mut cur.comb_succ {
             c.clear();
         }
-        if self.comb_succ.len() < self.resources.len() {
-            self.comb_succ.resize_with(self.resources.len(), Vec::new);
-            self.comb_mark.resize(self.resources.len(), 0);
+        if cur.comb_succ.len() < cur.insts.len() {
+            cur.comb_succ.resize_with(cur.insts.len(), Vec::new);
+            cur.comb_mark.resize(cur.insts.len(), 0);
         }
-        for i in 0..self.statics.n {
-            let Some(p) = &self.frame.placed[i] else {
+        for (l, &g) in cur.members.iter().enumerate() {
+            let Some(p) = &cur.frame.placed[l] else {
                 continue;
             };
             if let Some(r) = p.resource {
-                let slot = r.index() * fold_states as usize + self.fold(p.state, ii) as usize;
-                self.busy[slot].push(OpId::from_raw(i as u32));
+                let slot = self.inst_local[r.index()] as usize * fold_states as usize
+                    + self.fold(p.state, ii) as usize;
+                cur.busy[slot].push(OpId::from_raw(g));
             }
         }
-        for i in 0..self.statics.n {
-            let Some(pc) = self.frame.placed[i] else {
+        for (l, &g) in cur.members.iter().enumerate() {
+            let Some(pc) = cur.frame.placed[l] else {
                 continue;
             };
             let Some(rc) = pc.resource else { continue };
-            for sig in &self.body.dfg.op(OpId::from_raw(i as u32)).inputs {
+            for sig in &self.body.dfg.op(OpId::from_raw(g)).inputs {
                 if sig.distance > 0 {
                     continue;
                 }
                 let Some(prod) = sig.producer() else { continue };
-                let Some(pp) = self.frame.placed[prod.index()] else {
+                if self.plan.region_of[prod.index()] != self.plan.region_of[g as usize] {
+                    continue;
+                }
+                let pl = self.plan.local_of[prod.index()] as usize;
+                let Some(pp) = cur.frame.placed[pl] else {
                     continue;
                 };
                 if pp.state == pc.state {
                     if let Some(rp) = pp.resource {
-                        comb_add_edge(&mut self.comb_succ, rp.0, rc.0);
+                        comb_add_edge(
+                            &mut cur.comb_succ,
+                            self.inst_local[rp.index()],
+                            self.inst_local[rc.index()],
+                        );
                     }
                 }
             }
         }
     }
 
-    /// Mirrors `CombGraph::would_create_cycle`: adding `from → to` closes a
-    /// cycle iff `from == to` or a path `to → … → from` already exists.
-    fn comb_would_create_cycle(&mut self, from: u32, to: u32) -> bool {
-        if from == to {
-            return true;
+    /// Whether predecessor `p` permits scheduling its consumer in `state`:
+    /// same region — placed no later than `state` (same-state chaining
+    /// allowed); other region — placed *strictly earlier* (the registered
+    /// cut rule, which is what makes cross-region readiness invariant during
+    /// a state's placement rounds).
+    fn pred_sched_ok(
+        &self,
+        base: u32,
+        ridx: u32,
+        cur: &RegionRt,
+        done: &[RegionRt],
+        p: OpId,
+        state: u32,
+    ) -> bool {
+        let pr = self.plan.region_of[p.index()];
+        let pl = self.plan.local_of[p.index()] as usize;
+        if pr == ridx {
+            cur.frame.placed[pl]
+                .map(|s| s.state <= state)
+                .unwrap_or(false)
+        } else {
+            done[(pr - base) as usize].frame.placed[pl]
+                .map(|s| s.state < state)
+                .unwrap_or(false)
         }
-        self.comb_epoch += 1;
-        let epoch = self.comb_epoch;
-        let mut dfs: Vec<u32> = vec![to];
-        while let Some(v) = dfs.pop() {
-            if self.comb_mark[v as usize] == epoch {
-                continue;
-            }
-            self.comb_mark[v as usize] = epoch;
-            for &s in &self.comb_succ[v as usize] {
-                if s == from {
-                    return true;
-                }
-                dfs.push(s);
-            }
-        }
-        false
     }
 
-    /// Runs one pass from `resume_from`, restoring the snapshot when
-    /// resuming mid-schedule. `resume_from = 0` is a full, from-scratch pass.
-    pub(crate) fn run_pass(&mut self, resume_from: u32) -> EngineOutcome {
+    /// The placement of `p` as visible from region `ridx` (any state).
+    fn placed_of(
+        &self,
+        base: u32,
+        ridx: u32,
+        cur: &RegionRt,
+        done: &[RegionRt],
+        p: OpId,
+    ) -> Option<PlacedOp> {
+        let pr = self.plan.region_of[p.index()];
+        let pl = self.plan.local_of[p.index()] as usize;
+        if pr == ridx {
+            cur.frame.placed[pl]
+        } else {
+            done[(pr - base) as usize].frame.placed[pl]
+        }
+    }
+
+    /// Arrival of producer `p`'s value at a consumer scheduled in `state`,
+    /// `None` while the producer does not yet permit that state. Same-region
+    /// same-state values chain combinationally; everything else (earlier
+    /// state, or any cross-region value) launches from a register.
+    fn input_arrival(
+        &self,
+        base: u32,
+        ridx: u32,
+        cur: &RegionRt,
+        done: &[RegionRt],
+        p: OpId,
+        state: u32,
+    ) -> Option<f64> {
+        let pr = self.plan.region_of[p.index()];
+        let pl = self.plan.local_of[p.index()] as usize;
+        if pr == ridx {
+            match cur.frame.placed[pl] {
+                Some(sp) if sp.state < state => Some(self.timing.register_arrival_ps()),
+                Some(sp) if sp.state == state => Some(sp.arrival),
+                _ => None,
+            }
+        } else {
+            match done[(pr - base) as usize].frame.placed[pl] {
+                Some(sp) if sp.state < state => Some(self.timing.register_arrival_ps()),
+                _ => None,
+            }
+        }
+    }
+
+    /// Runs one pass over every dirty region and assembles the global
+    /// outcome. Independent weakly-connected component groups run in
+    /// parallel when more than one of them is dirty.
+    pub(crate) fn run_pass(&mut self) -> EngineOutcome {
         let latency = self.latency.max(1);
-        let config = self.config;
-        let ii = config.ii_or(latency);
-        let pipelined = config.pipeline.is_some();
-        let sharing = config.sharing_possible();
-        let n = self.statics.n;
+        let ii = self.config.ii_or(latency);
+        let pipelined = self.config.pipeline.is_some();
+        let sharing = self.config.sharing_possible();
+        let fold_states = if pipelined { ii } else { latency };
+
+        let mut regions = std::mem::take(&mut self.regions);
+        let outcome;
+        {
+            let this: &Engine = &*self;
+            let dirty_components = this
+                .plan
+                .components
+                .iter()
+                .filter(|&&(lo, hi)| {
+                    regions[lo as usize..hi as usize]
+                        .iter()
+                        .any(|r| r.resume != CLEAN)
+                })
+                .count();
+            if dirty_components > 1 && crate::parallel::worker_count() > 1 {
+                // Hand each component its contiguous chunk of regions. The
+                // Mutex<Option<..>> wrapper moves the &mut chunk through the
+                // shared-reference closure `map_indexed` requires.
+                type ComponentCell<'a> = Mutex<Option<(u32, &'a mut [RegionRt])>>;
+                let mut items: Vec<ComponentCell<'_>> =
+                    Vec::with_capacity(this.plan.components.len());
+                let mut rest: &mut [RegionRt] = &mut regions;
+                let mut consumed = 0u32;
+                for &(lo, hi) in &this.plan.components {
+                    debug_assert_eq!(lo, consumed, "component ranges must be contiguous");
+                    let (chunk, tail) = rest.split_at_mut((hi - lo) as usize);
+                    items.push(Mutex::new(Some((lo, chunk))));
+                    rest = tail;
+                    consumed = hi;
+                }
+                crate::parallel::map_indexed(&items, |_, cell| {
+                    let (base, chunk) = cell.lock().unwrap().take().unwrap();
+                    this.run_component(base, chunk, latency, ii, fold_states, sharing);
+                });
+            } else {
+                for &(lo, hi) in &this.plan.components {
+                    this.run_component(
+                        lo,
+                        &mut regions[lo as usize..hi as usize],
+                        latency,
+                        ii,
+                        fold_states,
+                        sharing,
+                    );
+                }
+            }
+            outcome = this.assemble_outcome(&regions);
+        }
+        self.regions = regions;
+        outcome
+    }
+
+    /// Runs the dirty regions of one weakly-connected component in
+    /// topological order, propagating boundary-interface changes downstream.
+    fn run_component(
+        &self,
+        base: u32,
+        comp: &mut [RegionRt],
+        latency: u32,
+        ii: u32,
+        fold_states: u32,
+        sharing: bool,
+    ) {
+        for k in 0..comp.len() {
+            if comp[k].resume == CLEAN {
+                continue;
+            }
+            let (done, rest) = comp.split_at_mut(k);
+            let cur = &mut rest[0];
+            let ridx = base + k as u32;
+            self.run_region(base, ridx, cur, done, latency, ii, fold_states, sharing);
+
+            // Diff the boundary interface: a consumer region must replay only
+            // if a cut value's state actually moved, and only from the
+            // earliest state that can observe the move.
+            let info = &self.plan.regions[ridx as usize];
+            let mut dirties: Vec<(u32, u32)> = Vec::new();
+            for (bi, &gop) in info.boundary.iter().enumerate() {
+                let l = self.plan.local_of[gop as usize] as usize;
+                let new = cur.frame.placed[l].map(|p| p.state);
+                if new != cur.iface[bi] {
+                    let resume = match (cur.iface[bi], new) {
+                        (Some(a), Some(b)) => a.min(b),
+                        (Some(a), None) => a,
+                        (None, Some(b)) => b,
+                        (None, None) => unreachable!("diff of equal interfaces"),
+                    };
+                    cur.iface[bi] = new;
+                    for &rc in &info.consumers[bi] {
+                        dirties.push((rc, resume));
+                    }
+                }
+            }
+            cur.resume = CLEAN;
+            for (rc, resume) in dirties {
+                debug_assert!(rc > ridx, "consumers are always downstream");
+                let slot = &mut comp[(rc - base) as usize].resume;
+                *slot = (*slot).min(resume);
+            }
+        }
+    }
+
+    /// Runs one region's pass from its resume watermark, restoring the
+    /// snapshot when resuming mid-schedule, and refreshes its cached
+    /// failure-report fragment.
+    #[allow(clippy::too_many_arguments)]
+    fn run_region(
+        &self,
+        base: u32,
+        ridx: u32,
+        cur: &mut RegionRt,
+        done: &[RegionRt],
+        latency: u32,
+        ii: u32,
+        fold_states: u32,
+        sharing: bool,
+    ) {
+        let n_local = cur.members.len();
 
         // --- restore ---------------------------------------------------------
-        let resume_from = resume_from.min(latency);
-        if resume_from == 0 {
-            self.frame = Frame::fresh(n, &self.scc_stage_input);
-            self.snapshots.clear();
-        } else if (resume_from as usize) < self.snapshots.len() {
-            self.frame = self.snapshots[resume_from as usize].clone();
-            self.snapshots.truncate(resume_from as usize);
+        let resume = cur.resume.min(latency);
+        if resume == 0 {
+            cur.frame = RegionFrame::fresh(n_local, &self.scc_stage_input);
+            cur.snapshots.clear();
+        } else if (resume as usize) < cur.snapshots.len() {
+            cur.frame = cur.snapshots[resume as usize].clone();
+            cur.snapshots.truncate(resume as usize);
             // re-apply the (possibly updated) input stage pins; for sccs
             // whose input is unchanged this is a no-op
             for (i, stage) in self.scc_stage_input.iter().enumerate() {
                 if let Some(v) = stage {
-                    self.frame.scc_dyn_stage[i] = Some(*v);
+                    cur.frame.scc_dyn_stage[i] = Some(*v);
                 }
             }
         } else {
             // continue from the live frame (AddState append); snapshots for
             // the existing states remain valid
-            self.snapshots.truncate(resume_from as usize);
+            cur.snapshots.truncate(resume as usize);
         }
-        let fold_states = if pipelined { ii } else { latency };
-        self.rebuild_derived(fold_states, ii);
+        self.rebuild_derived(cur, fold_states, ii);
 
         // --- control steps ---------------------------------------------------
-        for state in resume_from..latency {
-            debug_assert_eq!(self.snapshots.len(), state as usize);
-            self.snapshots.push(self.frame.clone());
+        let order = std::mem::take(&mut cur.order);
+        for state in resume..latency {
+            debug_assert_eq!(cur.snapshots.len(), state as usize);
+            cur.snapshots.push(cur.frame.clone());
             loop {
                 // ready operations, already in priority order
-                self.ready.clear();
-                let mut ready = std::mem::take(&mut self.ready);
-                for idx in 0..self.order.len() {
-                    let op_id = self.order[idx];
+                let mut ready = std::mem::take(&mut cur.ready);
+                ready.clear();
+                for &op_id in &order {
                     let i = op_id.index();
-                    if self.frame.placed[i].is_some() {
+                    let l = self.plan.local_of[i] as usize;
+                    if cur.frame.placed[l].is_some() {
                         continue;
                     }
-                    let preds_ok = self.statics.preds[i].iter().all(|p| {
-                        self.frame.placed[p.index()]
-                            .map(|s| s.state <= state)
-                            .unwrap_or(false)
-                    }) && self.statics.extra_preds[i].iter().all(|p| {
-                        self.frame.placed[p.index()]
-                            .map(|s| s.state <= state)
-                            .unwrap_or(false)
-                    });
+                    let preds_ok = self.statics.preds[i]
+                        .iter()
+                        .all(|&p| self.pred_sched_ok(base, ridx, cur, done, p, state))
+                        && self.statics.extra_preds[i]
+                            .iter()
+                            .all(|&p| self.pred_sched_ok(base, ridx, cur, done, p, state));
                     if !preds_ok {
                         continue;
                     }
@@ -720,12 +1129,12 @@ impl<'a> Engine<'a> {
                             continue;
                         }
                     }
-                    if self.frame.first_considered[i].is_none() {
-                        self.frame.first_considered[i] = Some(state);
+                    if cur.frame.first_considered[l].is_none() {
+                        cur.frame.first_considered[l] = Some(state);
                     }
                     if let Some(scc) = self.statics.scc_of[i] {
                         if let Some((lo, hi)) =
-                            self.scc_window(scc as usize, &self.frame.scc_dyn_stage, ii)
+                            self.scc_window(scc as usize, &cur.frame.scc_dyn_stage, ii)
                         {
                             if state < lo || state > hi {
                                 continue;
@@ -735,66 +1144,100 @@ impl<'a> Engine<'a> {
                     ready.push(op_id);
                 }
                 if ready.is_empty() {
-                    self.ready = ready;
+                    cur.ready = ready;
                     break;
                 }
 
                 let mut placed_any = false;
                 for &op_id in &ready {
-                    if self.try_place(op_id, state, ii, fold_states, sharing) {
+                    if self.try_place(
+                        base,
+                        ridx,
+                        cur,
+                        done,
+                        op_id,
+                        state,
+                        ii,
+                        fold_states,
+                        sharing,
+                    ) {
                         placed_any = true;
                     }
                 }
-                self.ready = ready;
+                cur.ready = ready;
                 if !placed_any {
                     break;
                 }
             }
         }
+        cur.order = order;
 
-        // --- outcome ---------------------------------------------------------
-        if self.frame.num_placed == n {
-            let min_slack_ps = if self.frame.min_slack.is_finite() {
-                self.frame.min_slack
-            } else {
-                config.clock.period_ps()
-            };
-            EngineOutcome::Success { min_slack_ps }
-        } else {
-            let mut failure = PassFailure {
-                scheduled: self.frame.num_placed,
-                ..PassFailure::default()
-            };
-            for i in 0..n {
-                if self.frame.placed[i].is_some() {
+        // --- cache the failure-report fragment -------------------------------
+        cur.fail.clear();
+        if cur.frame.num_placed < n_local {
+            for (l, &g) in cur.members.iter().enumerate() {
+                if cur.frame.placed[l].is_some() {
                     continue;
                 }
+                let i = g as usize;
+                // only report ops whose predecessors were all placed (root
+                // causes) — mirrors the monolithic failure scan, which checks
+                // data preds only
                 let preds_ok = self.statics.preds[i]
                     .iter()
-                    .all(|p| self.frame.placed[p.index()].is_some());
+                    .all(|&p| self.placed_of(base, ridx, cur, done, p).is_some());
                 if !preds_ok {
                     continue;
                 }
-                let id = OpId::from_raw(i as u32);
-                failure.failed_ops.push(id);
-                if let Some(rs) = &self.frame.last_reasons[i] {
-                    failure.restraints.extend(rs.iter().cloned());
-                } else if let Some(ty) = &self.statics.required_ty[i] {
-                    failure.restraints.push(Restraint::ResourceContention {
-                        op: id,
-                        ty: ty.clone(),
-                    });
+                let id = OpId::from_raw(g);
+                if let Some(rs) = &cur.frame.last_reasons[l] {
+                    cur.fail.push((id, rs.as_ref().clone()));
+                } else {
+                    // never attempted: distinguish "a region-crossing value
+                    // is registered in the final state, so readiness needs a
+                    // state that does not exist" from plain starvation
+                    let blocked = {
+                        let last = self.latency.saturating_sub(1);
+                        let cut_blocked = |p: &OpId| {
+                            self.plan.region_of[p.index()] != ridx
+                                && self
+                                    .placed_of(base, ridx, cur, done, *p)
+                                    .is_some_and(|pl| pl.state >= last)
+                        };
+                        self.statics.preds[i].iter().any(cut_blocked)
+                            || self.statics.extra_preds[i].iter().any(cut_blocked)
+                            || (self.statics.has_side_effects[i]
+                                && self.statics.cond_ops[i].iter().any(cut_blocked))
+                    };
+                    if blocked {
+                        cur.fail
+                            .push((id, vec![Restraint::StateExhausted { op: id }]));
+                    } else if let Some(ty) = &self.statics.required_ty[i] {
+                        cur.fail.push((
+                            id,
+                            vec![Restraint::ResourceContention {
+                                op: id,
+                                ty: ty.clone(),
+                            }],
+                        ));
+                    } else {
+                        cur.fail.push((id, Vec::new()));
+                    }
                 }
             }
-            EngineOutcome::Failure(failure)
         }
     }
 
     /// Attempts to place one ready operation in `state`. Returns whether a
-    /// placement happened. Mirrors the original pass body exactly.
-    #[allow(clippy::too_many_lines)]
+    /// placement happened. Mirrors the original pass body exactly, with the
+    /// registered cut rule applied to cross-region inputs.
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
     fn try_place(
-        &mut self,
+        &self,
+        base: u32,
+        ridx: u32,
+        cur: &mut RegionRt,
+        done: &[RegionRt],
         op_id: OpId,
         state: u32,
         ii: u32,
@@ -802,20 +1245,20 @@ impl<'a> Engine<'a> {
         sharing: bool,
     ) -> bool {
         let i = op_id.index();
+        let l = self.plan.local_of[i] as usize;
         let op = self.body.dfg.op(op_id);
 
         // input arrival times
         let mut inputs_ready = true;
-        self.in_arrivals.clear();
-        let mut in_arrivals = std::mem::take(&mut self.in_arrivals);
+        cur.in_arrivals.clear();
+        let mut in_arrivals = std::mem::take(&mut cur.in_arrivals);
         for sig in &op.inputs {
             let a = match sig.producer() {
                 None => 0.0,
                 Some(_) if sig.distance > 0 => self.timing.register_arrival_ps(),
-                Some(p) => match self.frame.placed[p.index()] {
-                    Some(sp) if sp.state < state => self.timing.register_arrival_ps(),
-                    Some(sp) if sp.state == state => sp.arrival,
-                    _ => {
+                Some(p) => match self.input_arrival(base, ridx, cur, done, p, state) {
+                    Some(a) => a,
+                    None => {
                         inputs_ready = false;
                         0.0
                     }
@@ -824,20 +1267,15 @@ impl<'a> Engine<'a> {
             in_arrivals.push(a);
         }
         if self.statics.has_side_effects[i] {
-            for cond in &self.statics.cond_ops[i] {
-                match self.frame.placed[cond.index()] {
-                    Some(sp) if sp.state < state => {
-                        in_arrivals.push(self.timing.register_arrival_ps());
-                    }
-                    Some(sp) if sp.state == state => {
-                        in_arrivals.push(sp.arrival);
-                    }
-                    _ => inputs_ready = false,
+            for &cond in &self.statics.cond_ops[i] {
+                match self.input_arrival(base, ridx, cur, done, cond, state) {
+                    Some(a) => in_arrivals.push(a),
+                    None => inputs_ready = false,
                 }
             }
         }
         if !inputs_ready {
-            self.in_arrivals = in_arrivals;
+            cur.in_arrivals = in_arrivals;
             return false;
         }
 
@@ -847,27 +1285,36 @@ impl<'a> Engine<'a> {
             } else {
                 in_arrivals.iter().copied().fold(0.0f64, f64::max)
             };
-            self.frame.placed[i] = Some(PlacedOp {
+            cur.frame.placed[l] = Some(PlacedOp {
                 state,
                 resource: None,
                 arrival: a,
             });
-            self.frame.num_placed += 1;
-            self.in_arrivals = in_arrivals;
+            cur.frame.num_placed += 1;
+            cur.in_arrivals = in_arrivals;
             return true;
         }
 
         let class = self.statics.class_id[i].expect("datapath op has a class");
         let share = {
-            let ops = self.statics.ops_per_class[class.index()].max(1);
-            let insts = self.insts_per_class[class.index()].max(1);
+            let ops = cur
+                .ops_per_class
+                .get(class.index())
+                .copied()
+                .unwrap_or(0)
+                .max(1);
+            let insts = cur
+                .insts_per_class
+                .get(class.index())
+                .copied()
+                .unwrap_or(0)
+                .max(1);
             ops.div_ceil(insts)
         };
 
         let mut reasons: Vec<Restraint> = Vec::new();
         let mut bound = false;
-        let compat = std::mem::take(&mut self.compat[i]);
-        for &res_id in &compat {
+        for &res_id in &self.compat[i] {
             if self.forbidden[i].contains(&res_id) {
                 continue;
             }
@@ -877,9 +1324,11 @@ impl<'a> Engine<'a> {
             // whose predicates guard different iterations, so cross-stage
             // "mutual exclusion" would not hold in hardware (the binder
             // rejects such slots as unsteerable)
-            let slot = res_id.index() * fold_states as usize + self.fold(state, ii) as usize;
-            let conflict = self.busy[slot].iter().any(|other| {
-                !self.frame.placed[other.index()].is_some_and(|p| p.state == state)
+            let slot = self.inst_local[res_id.index()] as usize * fold_states as usize
+                + self.fold(state, ii) as usize;
+            let conflict = cur.busy[slot].iter().any(|other| {
+                let ol = self.plan.local_of[other.index()] as usize;
+                !cur.frame.placed[ol].is_some_and(|p| p.state == state)
                     || !self.statics.pred_lits[other.index()]
                         .mutually_exclusive(&self.statics.pred_lits[i])
             });
@@ -893,8 +1342,8 @@ impl<'a> Engine<'a> {
             // timing check (mirrors `ChainTiming::op_arrival_ps` over the
             // interned per-type delay/width tables — no type hashing)
             let tid = self.inst_type_ids[res_id.index()];
-            let base = in_arrivals.iter().copied().fold(0.0f64, f64::max);
-            let a = base
+            let base_a = in_arrivals.iter().copied().fold(0.0f64, f64::max);
+            let a = base_a
                 + self
                     .timing
                     .input_mux_delay_ps(share, self.statics.type_width[tid.index()])
@@ -907,20 +1356,29 @@ impl<'a> Engine<'a> {
                 });
                 continue;
             }
-            // combinational cycle check
+            // combinational cycle check (only same-region producers can
+            // chain in the same state — cross-region values are registered)
             if self.config.avoid_comb_cycles {
                 let mut creates_cycle = false;
                 for sig in &op.inputs {
                     if sig.distance > 0 {
                         continue;
                     }
-                    if let Some(p) = sig.producer() {
-                        if let Some(sp) = self.frame.placed[p.index()] {
-                            if sp.state == state {
-                                if let Some(rp) = sp.resource {
-                                    if self.comb_would_create_cycle(rp.0, res_id.0) {
-                                        creates_cycle = true;
-                                    }
+                    let Some(p) = sig.producer() else { continue };
+                    if self.plan.region_of[p.index()] != ridx {
+                        continue;
+                    }
+                    if let Some(sp) = cur.frame.placed[self.plan.local_of[p.index()] as usize] {
+                        if sp.state == state {
+                            if let Some(rp) = sp.resource {
+                                if comb_would_create_cycle(
+                                    &cur.comb_succ,
+                                    &mut cur.comb_mark,
+                                    &mut cur.comb_epoch,
+                                    self.inst_local[rp.index()],
+                                    self.inst_local[res_id.index()],
+                                ) {
+                                    creates_cycle = true;
                                 }
                             }
                         }
@@ -939,27 +1397,33 @@ impl<'a> Engine<'a> {
                 if sig.distance > 0 {
                     continue;
                 }
-                if let Some(p) = sig.producer() {
-                    if let Some(sp) = self.frame.placed[p.index()] {
-                        if sp.state == state {
-                            if let Some(rp) = sp.resource {
-                                comb_add_edge(&mut self.comb_succ, rp.0, res_id.0);
-                            }
+                let Some(p) = sig.producer() else { continue };
+                if self.plan.region_of[p.index()] != ridx {
+                    continue;
+                }
+                if let Some(sp) = cur.frame.placed[self.plan.local_of[p.index()] as usize] {
+                    if sp.state == state {
+                        if let Some(rp) = sp.resource {
+                            comb_add_edge(
+                                &mut cur.comb_succ,
+                                self.inst_local[rp.index()],
+                                self.inst_local[res_id.index()],
+                            );
                         }
                     }
                 }
             }
-            self.busy[slot].push(op_id);
-            self.frame.placed[i] = Some(PlacedOp {
+            cur.busy[slot].push(op_id);
+            cur.frame.placed[l] = Some(PlacedOp {
                 state,
                 resource: Some(res_id),
                 arrival: a,
             });
-            self.frame.num_placed += 1;
-            self.frame.min_slack = self.frame.min_slack.min(slack);
+            cur.frame.num_placed += 1;
+            cur.frame.min_slack = cur.frame.min_slack.min(slack);
             // pin the SCC stage on first placement
             if let Some(scc) = self.statics.scc_of[i] {
-                let entry = &mut self.frame.scc_dyn_stage[scc as usize];
+                let entry = &mut cur.frame.scc_dyn_stage[scc as usize];
                 if entry.is_none() {
                     *entry = Some(state / ii);
                 }
@@ -976,8 +1440,8 @@ impl<'a> Engine<'a> {
                 .all(|r| matches!(r, Restraint::ResourceContention { .. }))
             {
                 if let Some(tid) = self.statics.required_type_id[i] {
-                    let base = in_arrivals.iter().copied().fold(0.0f64, f64::max);
-                    let a = base
+                    let base_a = in_arrivals.iter().copied().fold(0.0f64, f64::max);
+                    let a = base_a
                         + self
                             .timing
                             .input_mux_delay_ps(share, self.statics.type_width[tid.index()])
@@ -991,14 +1455,14 @@ impl<'a> Engine<'a> {
                     }
                 }
             }
-            if compat.is_empty() {
+            if self.compat[i].is_empty() {
                 if let Some(ty) = self.statics.required_ty[i].clone() {
                     reasons.push(Restraint::ResourceContention { op: op_id, ty });
                 }
             }
             if let Some(scc) = self.statics.scc_of[i] {
                 if self
-                    .scc_window(scc as usize, &self.frame.scc_dyn_stage, ii)
+                    .scc_window(scc as usize, &cur.frame.scc_dyn_stage, ii)
                     .map(|(_, hi)| state >= hi)
                     .unwrap_or(false)
                 {
@@ -1008,28 +1472,62 @@ impl<'a> Engine<'a> {
                     });
                 }
             }
-            self.frame.last_reasons[i] = Some(reasons);
+            cur.frame.last_reasons[l] = Some(Arc::new(reasons));
         }
-        self.compat[i] = compat;
-        self.in_arrivals = in_arrivals;
+        cur.in_arrivals = in_arrivals;
         bound
+    }
+
+    /// Assembles the global outcome from the per-region results, matching
+    /// the monolithic engine's report exactly: failed ops in ascending op-id
+    /// order with their restraints, min-slack folded over every region.
+    fn assemble_outcome(&self, regions: &[RegionRt]) -> EngineOutcome {
+        let n = self.statics.n;
+        let total: usize = regions.iter().map(|r| r.frame.num_placed).sum();
+        if total == n {
+            let min_slack = regions
+                .iter()
+                .map(|r| r.frame.min_slack)
+                .fold(f64::INFINITY, f64::min);
+            let min_slack_ps = if min_slack.is_finite() {
+                min_slack
+            } else {
+                self.config.clock.period_ps()
+            };
+            EngineOutcome::Success { min_slack_ps }
+        } else {
+            let mut failure = PassFailure {
+                scheduled: total,
+                ..PassFailure::default()
+            };
+            let mut frags: Vec<&(OpId, Vec<Restraint>)> =
+                regions.iter().flat_map(|r| r.fail.iter()).collect();
+            frags.sort_by_key(|(op, _)| *op);
+            for (op, rs) in frags {
+                failure.failed_ops.push(*op);
+                failure.restraints.extend(rs.iter().cloned());
+            }
+            EngineOutcome::Failure(failure)
+        }
     }
 
     /// Extracts the schedule after a successful pass, consuming the engine
     /// (the resource set is moved, not cloned).
     pub(crate) fn into_desc(self) -> ScheduleDesc {
         let mut ops = std::collections::BTreeMap::new();
-        for (i, p) in self.frame.placed.iter().enumerate() {
-            let p = p.as_ref().expect("into_desc requires a complete schedule");
-            let id = OpId::from_raw(i as u32);
-            ops.insert(
-                id,
-                ScheduledOp {
-                    op: id,
-                    state: p.state,
-                    resource: p.resource,
-                },
-            );
+        for rt in &self.regions {
+            for (l, &g) in rt.members.iter().enumerate() {
+                let p = rt.frame.placed[l].expect("into_desc requires a complete schedule");
+                let id = OpId::from_raw(g);
+                ops.insert(
+                    id,
+                    ScheduledOp {
+                        op: id,
+                        state: p.state,
+                        resource: p.resource,
+                    },
+                );
+            }
         }
         ScheduleDesc {
             num_states: self.latency,
@@ -1038,6 +1536,37 @@ impl<'a> Engine<'a> {
             resources: self.resources,
         }
     }
+}
+
+/// Mirrors `CombGraph::would_create_cycle` over one region's local comb
+/// graph: adding `from → to` closes a cycle iff `from == to` or a path
+/// `to → … → from` already exists.
+fn comb_would_create_cycle(
+    succ: &[Vec<u32>],
+    mark: &mut [u32],
+    epoch: &mut u32,
+    from: u32,
+    to: u32,
+) -> bool {
+    if from == to {
+        return true;
+    }
+    *epoch += 1;
+    let epoch = *epoch;
+    let mut dfs: Vec<u32> = vec![to];
+    while let Some(v) = dfs.pop() {
+        if mark[v as usize] == epoch {
+            continue;
+        }
+        mark[v as usize] = epoch;
+        for &s in &succ[v as usize] {
+            if s == from {
+                return true;
+            }
+            dfs.push(s);
+        }
+    }
+    false
 }
 
 fn comb_add_edge(succ: &mut [Vec<u32>], from: u32, to: u32) {
@@ -1053,4 +1582,9 @@ fn min_opt(a: Option<u32>, b: Option<u32>) -> Option<u32> {
         (x, None) => x,
         (None, y) => y,
     }
+}
+
+/// Ready-list capacity hint: an even split of the ops over the regions.
+fn regions_capacity_hint(n: usize, num_regions: usize) -> usize {
+    n / num_regions.max(1) + 1
 }

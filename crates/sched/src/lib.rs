@@ -34,14 +34,20 @@
 pub mod config;
 mod engine;
 pub mod error;
+pub mod parallel;
 pub mod pass;
+pub mod region;
 pub mod relax;
 pub mod resources;
 pub mod scheduler;
 
-pub use config::{PipelineRequest, SchedulerConfig};
+pub use config::{PipelineRequest, RegionOptions, SchedulerConfig};
 pub use error::SchedError;
-pub use pass::{schedule_pass, schedule_pass_reference, PassFailure, PassInput, PassOutcome};
+pub use pass::{
+    schedule_pass, schedule_pass_reference, schedule_pass_reference_with_regions, PassFailure,
+    PassInput, PassOutcome, PassRegions,
+};
+pub use region::RegionPlan;
 pub use relax::{RelaxAction, Restraint};
-pub use resources::initial_resource_set;
+pub use resources::{initial_resource_set, initial_resource_set_for_ops};
 pub use scheduler::{schedule_separated, Schedule, Scheduler};

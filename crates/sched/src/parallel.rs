@@ -1,13 +1,16 @@
-//! Deterministic parallel execution of independent exploration work.
+//! Deterministic parallel execution of independent work items.
 //!
-//! Design-space exploration is embarrassingly parallel: every Figure 9
-//! design, every Figure 10/11 IDCT sweep point and every Pareto candidate is
-//! an independent scheduling problem. [`map_indexed`] fans a slice of such
-//! problems out over `std::thread::scope` workers (no external thread-pool
-//! dependency) and returns results **in input order**, so callers observe
-//! exactly the output a sequential loop would produce — scheduling is
-//! deterministic, and the collection order is fixed by index, not by thread
-//! completion time.
+//! Two layers share this primitive. Design-space exploration is
+//! embarrassingly parallel: every Figure 9 design, every Figure 10/11 IDCT
+//! sweep point and every Pareto candidate is an independent scheduling
+//! problem. Within one large design, the region decomposition layer
+//! ([`crate::region`]) produces weakly connected groups of regions that are
+//! likewise independent and are re-passed concurrently. [`map_indexed`] fans
+//! a slice of such problems out over `std::thread::scope` workers (no
+//! external thread-pool dependency) and returns results **in input order**,
+//! so callers observe exactly the output a sequential loop would produce —
+//! scheduling is deterministic, and the collection order is fixed by index,
+//! not by thread completion time.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;

@@ -77,13 +77,24 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
         input.forbidden.iter().copied(),
         input.scc_stage.iter().map(|(&scc, &stage)| (scc, stage)),
     );
-    match engine.run_pass(0) {
+    match engine.run_pass() {
         EngineOutcome::Success { min_slack_ps } => PassOutcome::Success {
             desc: engine.into_desc(),
             min_slack_ps,
         },
         EngineOutcome::Failure(failure) => PassOutcome::Failure(failure),
     }
+}
+
+/// Region assignment for the reference pass: which region owns each
+/// operation and each resource instance. Mirrors the decomposition the
+/// incremental engine derives from a [`RegionPlan`](crate::RegionPlan), in
+/// the simplest possible encoding so the reference stays obviously correct.
+pub struct PassRegions<'a> {
+    /// Owning region per operation, dense by op index.
+    pub op_region: &'a [u32],
+    /// Owning region per resource instance, dense by instance index.
+    pub inst_region: &'a [u32],
 }
 
 /// The retained reference pass: the original `HashMap`-based implementation,
@@ -93,6 +104,20 @@ pub fn schedule_pass(input: &PassInput<'_>) -> PassOutcome {
 /// and asserts the incremental arena-backed scheduler produces the identical
 /// `ScheduleDesc`, pass count and action sequence.
 pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
+    schedule_pass_reference_with_regions(input, None)
+}
+
+/// The reference pass with an optional region decomposition. With regions,
+/// the state-major loop applies the **registered cut-value rule**: a value
+/// crossing a region boundary is always registered, so its consumers become
+/// ready only in a strictly later state and always see a register-launch
+/// arrival; bindings are confined to the consumer's own region pool and
+/// sharing factors are computed per (region, class). This is the semantics
+/// the region-decomposed incremental engine must reproduce bit-identically.
+pub fn schedule_pass_reference_with_regions(
+    input: &PassInput<'_>,
+    regions: Option<&PassRegions<'_>>,
+) -> PassOutcome {
     let body = input.body;
     let config = input.config;
     let latency = input.latency.max(1);
@@ -119,32 +144,58 @@ pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
         extra_preds.entry(b).or_default().push(a);
     }
 
-    // Expected sharing factor per resource class (drives input-mux
-    // penalties), over interned class ids: a zero count means the class was
-    // only interned by the other table and reads as "absent" (factor
-    // contribution 1), exactly like the historical string-keyed maps.
+    // Region lookups: without regions everything lives in region 0 and the
+    // cut rule never fires (every pair is same-region).
+    let region_of_op = |id: OpId| -> u32 { regions.map(|r| r.op_region[id.index()]).unwrap_or(0) };
+    let cross = |a: OpId, b: OpId| region_of_op(a) != region_of_op(b);
+    let num_regions = regions
+        .map(|r| {
+            r.op_region
+                .iter()
+                .max()
+                .map(|&m| m as usize + 1)
+                .unwrap_or(1)
+        })
+        .unwrap_or(1);
+
+    // Expected sharing factor per (region, resource class) — the sharing
+    // pressure an instance sees is confined to its own region's pool. Over
+    // interned class ids: a zero count means the class was only interned by
+    // the other table and reads as "absent" (factor contribution 1), exactly
+    // like the historical string-keyed maps.
     let mut interner = Interner::new();
-    let mut ops_per_class: Vec<usize> = Vec::new();
-    for (_, op) in body.dfg.iter_ops() {
+    let mut ops_per_class: Vec<Vec<usize>> = vec![Vec::new(); num_regions];
+    for (id, op) in body.dfg.iter_ops() {
         if let Some(ty) = ResourceType::for_op(op) {
             if !matches!(ty.class, ResourceClass::IoPort) {
                 let cid = interner.class_id(&ty.class);
-                if cid.index() >= ops_per_class.len() {
-                    ops_per_class.resize(cid.index() + 1, 0);
+                let per = &mut ops_per_class[region_of_op(id) as usize];
+                if cid.index() >= per.len() {
+                    per.resize(cid.index() + 1, 0);
                 }
-                ops_per_class[cid.index()] += 1;
+                per[cid.index()] += 1;
             }
         }
     }
-    let insts_per_class: Vec<usize> = input.resources.class_counts(&mut interner);
-    let share_factor = |class: &ResourceClass| -> usize {
+    let mut insts_per_class: Vec<Vec<usize>> = vec![Vec::new(); num_regions];
+    for inst in input.resources.iter() {
+        let cid = interner.class_id(&inst.ty.class);
+        let r = regions.map(|r| r.inst_region[inst.id.index()]).unwrap_or(0) as usize;
+        let per = &mut insts_per_class[r];
+        if cid.index() >= per.len() {
+            per.resize(cid.index() + 1, 0);
+        }
+        per[cid.index()] += 1;
+    }
+    let interner = interner;
+    let share_factor = |class: &ResourceClass, region: usize| -> usize {
         let id = interner.lookup_class(class);
         let ops = id
-            .and_then(|i| ops_per_class.get(i.index()).copied())
+            .and_then(|i| ops_per_class[region].get(i.index()).copied())
             .filter(|&n| n > 0)
             .unwrap_or(1);
         let insts = id
-            .and_then(|i| insts_per_class.get(i.index()).copied())
+            .and_then(|i| insts_per_class[region].get(i.index()).copied())
             .filter(|&n| n > 0)
             .unwrap_or(1);
         ops.div_ceil(insts)
@@ -181,11 +232,9 @@ pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
             (id, d)
         })
         .collect();
-    let fanout: HashMap<OpId, usize> = body
-        .dfg
-        .op_ids()
-        .map(|id| (id, body.dfg.fanout_cone_size(id)))
-        .collect();
+    // capped fanout cones, shared with the engine so the priority orders of
+    // the two drivers stay identical even on cap-sized designs
+    let fanout = crate::engine::fanout_cone_sizes(body, crate::engine::FANOUT_CONE_CAP);
 
     for state in 0..latency {
         loop {
@@ -195,17 +244,25 @@ pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
                 .op_ids()
                 .filter(|id| !placed.contains_key(id))
                 .filter(|&id| {
-                    body.dfg
-                        .preds(id)
-                        .iter()
-                        .all(|p| placed.get(p).map(|s| s.state <= state).unwrap_or(false))
+                    // same-region predecessors permit same-state chaining;
+                    // a region-crossing value is registered (cut rule), so
+                    // its consumers wait for a strictly later state
+                    let pred_ok = |p: &OpId| {
+                        placed
+                            .get(p)
+                            .map(|s| {
+                                if cross(id, *p) {
+                                    s.state < state
+                                } else {
+                                    s.state <= state
+                                }
+                            })
+                            .unwrap_or(false)
+                    };
+                    body.dfg.preds(id).iter().all(pred_ok)
                         && extra_preds
                             .get(&id)
-                            .map(|ps| {
-                                ps.iter().all(|p| {
-                                    placed.get(p).map(|s| s.state <= state).unwrap_or(false)
-                                })
-                            })
+                            .map(|ps| ps.iter().all(pred_ok))
                             .unwrap_or(true)
                 })
                 .filter(|&id| {
@@ -235,7 +292,7 @@ pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
                         let mb = alap[&b].saturating_sub(asap[&b]);
                         ma.cmp(&mb)
                     })
-                    .then_with(|| fanout[&b].cmp(&fanout[&a]))
+                    .then_with(|| fanout[b.index()].cmp(&fanout[a.index()]))
                     .then_with(|| a.cmp(&b))
             });
 
@@ -279,7 +336,7 @@ pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
                             Some(sp) if sp.state < state => {
                                 in_arrivals.push(timing.register_arrival_ps());
                             }
-                            Some(sp) if sp.state == state => {
+                            Some(sp) if sp.state == state && !cross(op_id, cond) => {
                                 in_arrivals.push(arrival.get(&cond).copied().unwrap_or(0.0));
                             }
                             _ => inputs_ready = false,
@@ -317,7 +374,12 @@ pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
                 }
 
                 // try every compatible, non-forbidden resource instance
-                let compatible = input.resources.compatible_with(op);
+                // from the op's own region pool
+                let mut compatible = input.resources.compatible_with(op);
+                if let Some(r) = regions {
+                    let my = r.op_region[op_id.index()];
+                    compatible.retain(|res| r.inst_region[res.index()] == my);
+                }
                 let mut reasons: Vec<Restraint> = Vec::new();
                 let mut bound = false;
                 let mut best_slack = f64::NEG_INFINITY;
@@ -349,7 +411,7 @@ pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
                         continue;
                     }
                     // timing check
-                    let share = share_factor(&inst.ty.class);
+                    let share = share_factor(&inst.ty.class, region_of_op(op_id) as usize);
                     let a = timing.op_arrival_ps(&in_arrivals, share, &inst.ty);
                     let slack = timing.slack_shared_ps(a, op.width, sharing);
                     best_slack = best_slack.max(slack);
@@ -431,7 +493,7 @@ pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
                         .all(|r| matches!(r, Restraint::ResourceContention { .. }))
                     {
                         if let Some(ty) = &required_ty {
-                            let share = share_factor(&ty.class);
+                            let share = share_factor(&ty.class, region_of_op(op_id) as usize);
                             let a = timing.op_arrival_ps(&in_arrivals, share, ty);
                             let slack = timing.slack_shared_ps(a, op.width, sharing);
                             if slack < 0.0 {
@@ -498,10 +560,30 @@ pub fn schedule_pass_reference(input: &PassInput<'_>) -> PassOutcome {
             failure.failed_ops.push(id);
             if let Some(rs) = last_reasons.get(&id) {
                 failure.restraints.extend(rs.clone());
-            } else if let Some(ty) = ResourceType::for_op(body.dfg.op(id)) {
-                failure
-                    .restraints
-                    .push(Restraint::ResourceContention { op: id, ty });
+            } else {
+                // never attempted: distinguish "a region-crossing value is
+                // registered in the final state, so readiness needs a state
+                // that does not exist" from plain starvation
+                let op = body.dfg.op(id);
+                let last = latency.saturating_sub(1);
+                let cut_blocked =
+                    |p: &OpId| cross(id, *p) && placed.get(p).is_some_and(|s| s.state >= last);
+                let blocked = body.dfg.preds(id).iter().any(cut_blocked)
+                    || extra_preds
+                        .get(&id)
+                        .map(|ps| ps.iter().any(cut_blocked))
+                        .unwrap_or(false)
+                    || (op.kind.has_side_effects()
+                        && op.predicate.condition_ops().iter().any(cut_blocked));
+                if blocked {
+                    failure
+                        .restraints
+                        .push(Restraint::StateExhausted { op: id });
+                } else if let Some(ty) = ResourceType::for_op(op) {
+                    failure
+                        .restraints
+                        .push(Restraint::ResourceContention { op: id, ty });
+                }
             }
         }
         PassOutcome::Failure(failure)

@@ -9,7 +9,7 @@
 use crate::config::SchedulerConfig;
 use hls_ir::OpId;
 use hls_tech::{ResourceInstanceId, ResourceSet, ResourceType, TechLibrary};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 /// A reason recorded when a binding attempt fails.
@@ -45,6 +45,13 @@ pub enum Restraint {
         /// The failing operation.
         op: OpId,
     },
+    /// The operation consumes a region-boundary value registered in the
+    /// schedule's final state; the cut rule makes it ready only in a
+    /// strictly later state, so only adding a state can help.
+    StateExhausted {
+        /// The failing operation.
+        op: OpId,
+    },
 }
 
 impl Restraint {
@@ -54,7 +61,8 @@ impl Restraint {
             Restraint::NegativeSlack { op, .. }
             | Restraint::ResourceContention { op, .. }
             | Restraint::CombCycle { op, .. }
-            | Restraint::SccWindow { op, .. } => *op,
+            | Restraint::SccWindow { op, .. }
+            | Restraint::StateExhausted { op } => *op,
         }
     }
 }
@@ -93,6 +101,12 @@ impl fmt::Display for Restraint {
                     "operation {op} of SCC #{scc_index} cannot fit its pipeline stage window"
                 )
             }
+            Restraint::StateExhausted { op } => {
+                write!(
+                    f,
+                    "{op} waits on a region-boundary value registered in the final state"
+                )
+            }
         }
     }
 }
@@ -104,6 +118,16 @@ pub enum RelaxAction {
     AddState,
     /// Allocate one more instance of the given resource type.
     AddResource(ResourceType),
+    /// Allocate several instances of the given resource type in one pass —
+    /// one per operation currently failing on contention for it. Emitted by
+    /// the contention-with-timing deadlock escape so large designs converge
+    /// in a handful of relaxation passes instead of one pass per operation.
+    AddResourceBatch {
+        /// The type to add instances of.
+        ty: ResourceType,
+        /// How many instances to add (one per distinct contended operation).
+        count: usize,
+    },
     /// Move a whole SCC to the next pipeline stage (timing-driven kernel
     /// selection — the paper's key pipelining action).
     MoveScc {
@@ -125,6 +149,9 @@ impl fmt::Display for RelaxAction {
         match self {
             RelaxAction::AddState => write!(f, "add state"),
             RelaxAction::AddResource(ty) => write!(f, "add resource {ty}"),
+            RelaxAction::AddResourceBatch { ty, count } => {
+                write!(f, "add {count} instances of resource {ty}")
+            }
             RelaxAction::MoveScc { scc_index } => {
                 write!(f, "move SCC #{scc_index} to the next stage")
             }
@@ -134,6 +161,13 @@ impl fmt::Display for RelaxAction {
         }
     }
 }
+
+/// Above this many distinct contended operations for one resource type, the
+/// expert system stops one-at-a-time instance refinement and proposes a
+/// demand-sized [`RelaxAction::AddResourceBatch`] instead. Small enough that
+/// the hand-sized paper examples always stay on the historical single-add
+/// path.
+const BATCH_THRESHOLD: usize = 8;
 
 /// Chooses the best relaxation action for a set of restraints.
 ///
@@ -146,17 +180,27 @@ pub fn choose_action(
     lib: &TechLibrary,
     latency: u32,
     num_sccs: usize,
-    scc_stage: &HashMap<usize, u32>,
+    scc_stage: &[u32],
     resources: &ResourceSet,
     failed_ops: &[OpId],
 ) -> Option<RelaxAction> {
+    // Hashed lookups keep a pass over N restraints linear; the scores they
+    // produce are identical to the historical nested rescans.
+    let failed: HashSet<OpId> = failed_ops.iter().copied().collect();
     let weight = |r: &Restraint| {
-        if failed_ops.contains(&r.op()) {
+        if failed.contains(&r.op()) {
             2.0
         } else {
             1.0
         }
     };
+    let slack_ops: HashSet<OpId> = restraints
+        .iter()
+        .filter_map(|r| match r {
+            Restraint::NegativeSlack { op, .. } => Some(*op),
+            _ => None,
+        })
+        .collect();
 
     let mut candidates: Vec<(RelaxAction, f64)> = Vec::new();
 
@@ -167,7 +211,9 @@ pub fn choose_action(
             .filter(|r| {
                 matches!(
                     r,
-                    Restraint::NegativeSlack { .. } | Restraint::ResourceContention { .. }
+                    Restraint::NegativeSlack { .. }
+                        | Restraint::ResourceContention { .. }
+                        | Restraint::StateExhausted { .. }
                 )
             })
             .map(weight)
@@ -181,26 +227,41 @@ pub fn choose_action(
     // fail on timing (adding hardware cannot fix negative slack). Types are
     // merged at `name()` granularity (class + operand widths), as the
     // original expert system did; the ordered map makes the candidate order
-    // — which breaks score ties — deterministic.
+    // — which breaks score ties — deterministic. When contention is systemic
+    // (more than [`BATCH_THRESHOLD`] distinct starving ops) the candidate
+    // becomes a batch sized by demand — each instance offers one slot per
+    // state, so `distinct / slots` instances cover the backlog — instead of
+    // the one-at-a-time endgame refinement, which would need a pass per op.
     if config.allow_add_resources {
-        let mut by_type: BTreeMap<String, (ResourceType, f64)> = BTreeMap::new();
+        let mut by_type: BTreeMap<String, (ResourceType, usize, f64)> = BTreeMap::new();
+        let mut seen: HashSet<(String, OpId)> = HashSet::new();
         for r in restraints {
             if let Restraint::ResourceContention { op, ty } = r {
-                let also_slack = restraints.iter().any(
-                    |other| matches!(other, Restraint::NegativeSlack { op: o, .. } if o == op),
-                );
-                if also_slack {
+                if slack_ops.contains(op) {
                     continue;
                 }
+                let name = ty.name();
                 let entry = by_type
-                    .entry(ty.name())
-                    .or_insert_with(|| (ty.clone(), 0.0));
-                entry.1 += weight(r);
+                    .entry(name.clone())
+                    .or_insert_with(|| (ty.clone(), 0, 0.0));
+                if seen.insert((name, *op)) {
+                    entry.1 += 1;
+                }
+                entry.2 += weight(r);
             }
         }
-        for (_, (ty, gain)) in by_type {
+        let slots = config.ii_or(latency).max(1) as usize;
+        for (_, (ty, distinct, gain)) in by_type {
             let cost = lib.area(&ty) / 5000.0;
-            candidates.push((RelaxAction::AddResource(ty), gain - cost));
+            let action = if distinct <= BATCH_THRESHOLD {
+                RelaxAction::AddResource(ty)
+            } else {
+                RelaxAction::AddResourceBatch {
+                    ty,
+                    count: distinct.div_ceil(slots).max(1),
+                }
+            };
+            candidates.push((action, gain - cost));
         }
     }
 
@@ -209,6 +270,22 @@ pub fn choose_action(
     if config.pipeline.is_some() && config.allow_scc_move && num_sccs > 0 {
         let ii = config.ii_or(latency);
         let num_stages = latency.div_ceil(ii).max(1);
+        // SCC indices with a recorded window failure per op, deduped in
+        // first-appearance order: one linear sweep replaces the historical
+        // restraints × SCCs × restraints rescan, with bit-identical sums
+        // (each accumulator still receives the same terms in restraint
+        // order).
+        let mut window_sccs: HashMap<OpId, Vec<usize>> = HashMap::new();
+        for r in restraints {
+            if let Restraint::SccWindow { scc_index, op } = r {
+                if *scc_index < num_sccs {
+                    let list = window_sccs.entry(*op).or_default();
+                    if !list.contains(scc_index) {
+                        list.push(*scc_index);
+                    }
+                }
+            }
+        }
         let mut by_scc: BTreeMap<usize, f64> = BTreeMap::new();
         for r in restraints {
             match r {
@@ -218,10 +295,8 @@ pub fn choose_action(
                 Restraint::NegativeSlack { op, .. } => {
                     // negative slack on an op that belongs to an SCC also
                     // suggests moving that SCC
-                    for idx in 0..num_sccs {
-                        if restraints.iter().any(|other| {
-                            matches!(other, Restraint::SccWindow { scc_index, op: o } if *scc_index == idx && o == op)
-                        }) {
+                    if let Some(list) = window_sccs.get(op) {
+                        for &idx in list {
                             *by_scc.entry(idx).or_insert(0.0) += weight(r) * 0.5;
                         }
                     }
@@ -230,7 +305,7 @@ pub fn choose_action(
             }
         }
         for (scc_index, gain) in by_scc {
-            let current = scc_stage.get(&scc_index).copied().unwrap_or(0);
+            let current = scc_stage.get(scc_index).copied().unwrap_or(0);
             if current + 1 < num_stages {
                 candidates.push((RelaxAction::MoveScc { scc_index }, gain - 0.4));
             }
@@ -247,6 +322,35 @@ pub fn choose_action(
                 },
                 weight(r) - 0.2,
             ));
+        }
+    }
+
+    // Deadlock escape: an operation can fail on contention *and* timing at
+    // once when the sharing-induced input-mux delay eats the clock. The
+    // contention/slack suppression above assumes hardware cannot fix
+    // negative slack, but adding an instance lowers the share factor — and
+    // with it the mux delay — so when no other action at all is applicable,
+    // propose the hardware anyway instead of declaring the specification
+    // over-constrained. Only reached when the normal candidate set is empty,
+    // so no previously-succeeding relaxation sequence changes.
+    if candidates.is_empty() && config.allow_add_resources {
+        let mut by_type: BTreeMap<String, (ResourceType, usize, f64)> = BTreeMap::new();
+        let mut seen: HashSet<(String, OpId)> = HashSet::new();
+        for r in restraints {
+            if let Restraint::ResourceContention { op, ty } = r {
+                let name = ty.name();
+                let entry = by_type
+                    .entry(name.clone())
+                    .or_insert_with(|| (ty.clone(), 0, 0.0));
+                if seen.insert((name, *op)) {
+                    entry.1 += 1;
+                }
+                entry.2 += weight(r);
+            }
+        }
+        for (_, (ty, count, gain)) in by_type {
+            let cost = lib.area(&ty) / 5000.0;
+            candidates.push((RelaxAction::AddResourceBatch { ty, count }, gain - cost));
         }
     }
 
@@ -298,7 +402,7 @@ mod tests {
             &lib,
             1,
             0,
-            &HashMap::new(),
+            &[],
             &ResourceSet::new(),
             &[op1, op2],
         )
@@ -321,13 +425,61 @@ mod tests {
             &lib,
             3,
             0,
-            &HashMap::new(),
+            &[],
             &ResourceSet::new(),
             &[op1],
         )
         .expect("an action");
         assert!(
             matches!(action, RelaxAction::AddResource(ty) if ty.class == ResourceClass::Multiplier)
+        );
+    }
+
+    #[test]
+    fn contention_with_slack_deadlock_escapes_with_a_batched_add() {
+        let lib = TechLibrary::artisan_90nm_typical();
+        let op1 = OpId::from_raw(1);
+        let op2 = OpId::from_raw(2);
+        // Both ops fail on contention *and* timing: the normal AddResource
+        // source suppresses them and latency is at max, so without the
+        // escape the specification would be declared over-constrained. The
+        // escape proposes one instance per contended op in a single action.
+        let restraints = vec![
+            Restraint::ResourceContention {
+                op: op1,
+                ty: mul32(),
+            },
+            Restraint::NegativeSlack {
+                op: op1,
+                slack_ps: -120.0,
+            },
+            Restraint::ResourceContention {
+                op: op2,
+                ty: mul32(),
+            },
+            Restraint::NegativeSlack {
+                op: op2,
+                slack_ps: -120.0,
+            },
+        ];
+        let action = choose_action(
+            &restraints,
+            &cfg_seq(),
+            &lib,
+            3,
+            0,
+            &[],
+            &ResourceSet::new(),
+            &[op1, op2],
+        )
+        .expect("an action");
+        assert!(
+            matches!(
+                &action,
+                RelaxAction::AddResourceBatch { ty, count: 2 }
+                    if ty.class == ResourceClass::Multiplier
+            ),
+            "expected a 2-instance batch, got {action}"
         );
     }
 
@@ -349,7 +501,7 @@ mod tests {
             &lib,
             3,
             1,
-            &HashMap::new(),
+            &[],
             &ResourceSet::new(),
             &[op],
         )
@@ -370,7 +522,7 @@ mod tests {
             &lib,
             3,
             1,
-            &HashMap::new(),
+            &[],
             &ResourceSet::new(),
             &[op],
         );
@@ -389,7 +541,7 @@ mod tests {
             &lib,
             3,
             0,
-            &HashMap::new(),
+            &[],
             &ResourceSet::new(),
             &[op],
         )
@@ -400,16 +552,7 @@ mod tests {
     #[test]
     fn no_action_when_nothing_applies() {
         let lib = TechLibrary::artisan_90nm_typical();
-        let action = choose_action(
-            &[],
-            &cfg_seq(),
-            &lib,
-            3,
-            0,
-            &HashMap::new(),
-            &ResourceSet::new(),
-            &[],
-        );
+        let action = choose_action(&[], &cfg_seq(), &lib, 3, 0, &[], &ResourceSet::new(), &[]);
         assert!(action.is_none());
     }
 

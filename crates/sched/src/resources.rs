@@ -19,11 +19,28 @@ use std::collections::BTreeMap;
 /// can serve per loop iteration: the latency for sequential schedules, the II
 /// for pipelined ones.
 pub fn initial_resource_set(body: &LinearBody, slots_per_instance: u32) -> ResourceSet {
+    let ops: Vec<hls_ir::OpId> = body.dfg.op_ids().collect();
+    initial_resource_set_for_ops(body, &ops, slots_per_instance)
+}
+
+/// Computes the initial resource set for a *subset* of a body's operations —
+/// the per-region resource pools of the region decomposition layer
+/// ([`crate::region`]). Ops are always processed in ascending id order
+/// regardless of the order of `ops`, so the result is independent of how the
+/// caller linearized the subset, and a subset covering the whole body yields
+/// exactly [`initial_resource_set`].
+pub fn initial_resource_set_for_ops(
+    body: &LinearBody,
+    ops: &[hls_ir::OpId],
+    slots_per_instance: u32,
+) -> ResourceSet {
     let slots = slots_per_instance.max(1) as usize;
+    let mut ids: Vec<hls_ir::OpId> = ops.to_vec();
+    ids.sort_unstable();
 
     // Group operations by a merged resource type per class/width bucket.
     let mut groups: BTreeMap<String, (ResourceType, Vec<hls_ir::OpId>)> = BTreeMap::new();
-    for (id, op) in body.dfg.iter_ops() {
+    for (id, op) in ids.iter().map(|&id| (id, body.dfg.op(id))) {
         let Some(ty) = ResourceType::for_op(op) else {
             continue;
         };

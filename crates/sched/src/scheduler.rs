@@ -12,7 +12,10 @@
 use crate::config::SchedulerConfig;
 use crate::engine::{Engine, EngineOutcome};
 use crate::error::SchedError;
-use crate::pass::{schedule_pass, schedule_pass_reference, PassInput, PassOutcome};
+use crate::pass::{
+    schedule_pass, schedule_pass_reference_with_regions, PassInput, PassOutcome, PassRegions,
+};
+use crate::region::{batch_owner_regions, concat_pools, owner_region, region_pools, RegionPlan};
 use crate::relax::{choose_action, worst_negative_slack, RelaxAction};
 use crate::resources::initial_resource_set;
 use hls_ir::analysis::{sccs, Scc};
@@ -92,18 +95,33 @@ impl<'a> Scheduler<'a> {
         // the designer allows (the paper sizes Example 1 with "3 multiplies in
         // at most 3 states"), or the II for pipelined loops.
         let slots = self.config.ii_or(self.config.max_latency);
-        let resources: ResourceSet = initial_resource_set(self.body, slots);
-        let mut engine = Engine::new(
-            self.body,
-            self.lib,
-            &self.config,
-            &components,
-            resources,
-            latency,
-        );
+        let mut engine = match self.config.region_decomposition {
+            Some(opts) => {
+                let plan = RegionPlan::build(self.body, &components, opts.target_ops);
+                Engine::new_with_plan(
+                    self.body,
+                    self.lib,
+                    &self.config,
+                    &components,
+                    plan,
+                    slots,
+                    latency,
+                )
+            }
+            None => {
+                let resources: ResourceSet = initial_resource_set(self.body, slots);
+                Engine::new(
+                    self.body,
+                    self.lib,
+                    &self.config,
+                    &components,
+                    resources,
+                    latency,
+                )
+            }
+        };
         let mut actions: Vec<RelaxAction> = Vec::new();
         let mut last_restraints: Vec<String> = Vec::new();
-        let mut resume_from = 0u32;
 
         for pass_no in 1..=self.config.max_passes {
             if let Some(deadline) = self.config.deadline {
@@ -117,7 +135,7 @@ impl<'a> Scheduler<'a> {
                     ));
                 }
             }
-            match engine.run_pass(resume_from) {
+            match engine.run_pass() {
                 EngineOutcome::Success { min_slack_ps } => {
                     let latency = engine.latency;
                     return Ok(Schedule {
@@ -130,12 +148,8 @@ impl<'a> Scheduler<'a> {
                 }
                 EngineOutcome::Failure(failure) => {
                     last_restraints = failure.restraints.iter().map(|r| r.to_string()).collect();
-                    let scc_stage: HashMap<usize, u32> = engine
-                        .scc_stage()
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, s)| s.map(|v| (i, v)))
-                        .collect();
+                    let scc_stage: Vec<u32> =
+                        engine.scc_stage().iter().map(|s| s.unwrap_or(0)).collect();
                     let action = choose_action(
                         &failure.restraints,
                         &self.config,
@@ -154,7 +168,7 @@ impl<'a> Scheduler<'a> {
                             worst_slack_ps: worst_negative_slack(&failure.restraints),
                         });
                     };
-                    resume_from = engine.apply(&action);
+                    engine.apply(&action, &failure.restraints);
                     actions.push(action);
                 }
             }
@@ -184,7 +198,17 @@ impl<'a> Scheduler<'a> {
 
         let mut latency = self.config.min_latency.max(1);
         let slots = self.config.ii_or(self.config.max_latency);
-        let mut resources: ResourceSet = initial_resource_set(self.body, slots);
+        // Region mode builds the same plan and concatenated per-region pools
+        // the incremental engine uses, so the two drivers stay comparable
+        // bit for bit.
+        let region_plan = self
+            .config
+            .region_decomposition
+            .map(|opts| RegionPlan::build(self.body, &components, opts.target_ops));
+        let (mut resources, mut inst_region): (ResourceSet, Vec<u32>) = match &region_plan {
+            Some(plan) => concat_pools(&region_pools(self.body, plan, slots)),
+            None => (initial_resource_set(self.body, slots), Vec::new()),
+        };
         let mut forbidden: HashSet<(OpId, ResourceInstanceId)> = HashSet::new();
         let mut scc_stage: HashMap<usize, u32> = HashMap::new();
         let mut actions: Vec<RelaxAction> = Vec::new();
@@ -212,7 +236,11 @@ impl<'a> Scheduler<'a> {
                 scc_stage: &scc_stage,
                 sccs: &components,
             };
-            match schedule_pass_reference(&input) {
+            let pass_regions = region_plan.as_ref().map(|plan| PassRegions {
+                op_region: &plan.region_of,
+                inst_region: &inst_region,
+            });
+            match schedule_pass_reference_with_regions(&input, pass_regions.as_ref()) {
                 PassOutcome::Success { desc, min_slack_ps } => {
                     return Ok(Schedule {
                         desc,
@@ -224,13 +252,16 @@ impl<'a> Scheduler<'a> {
                 }
                 PassOutcome::Failure(failure) => {
                     last_restraints = failure.restraints.iter().map(|r| r.to_string()).collect();
+                    let scc_stage_dense: Vec<u32> = (0..components.len())
+                        .map(|i| scc_stage.get(&i).copied().unwrap_or(0))
+                        .collect();
                     let action = choose_action(
                         &failure.restraints,
                         &self.config,
                         self.lib,
                         latency,
                         components.len(),
-                        &scc_stage,
+                        &scc_stage_dense,
                         &resources,
                         &failure.failed_ops,
                     );
@@ -246,6 +277,30 @@ impl<'a> Scheduler<'a> {
                         RelaxAction::AddState => latency += 1,
                         RelaxAction::AddResource(ty) => {
                             resources.add(ty.clone());
+                            if let Some(plan) = &region_plan {
+                                inst_region.push(owner_region(
+                                    &failure.restraints,
+                                    ty,
+                                    &plan.region_of,
+                                ));
+                            }
+                        }
+                        RelaxAction::AddResourceBatch { ty, count } => {
+                            if let Some(plan) = &region_plan {
+                                for owner in batch_owner_regions(
+                                    &failure.restraints,
+                                    ty,
+                                    *count,
+                                    &plan.region_of,
+                                ) {
+                                    resources.add(ty.clone());
+                                    inst_region.push(owner);
+                                }
+                            } else {
+                                for _ in 0..*count {
+                                    resources.add(ty.clone());
+                                }
+                            }
                         }
                         RelaxAction::MoveScc { scc_index } => {
                             *scc_stage.entry(*scc_index).or_insert(0) += 1;

@@ -5,29 +5,50 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --example figure9_perf              # full 100..2000 sweep
+//! cargo run --release --example figure9_perf              # 100..2000 + 10k/30k/100k
 //! cargo run --release --example figure9_perf -- 150 300 600
+//! cargo run --release --example figure9_perf -- --budget 60
+//! cargo run --release --example figure9_perf -- --budget 60 150 300 5000
 //! FIGURE9_BUDGET_SECONDS=120 cargo run --release --example figure9_perf -- 150 300 600
 //! ```
 //!
-//! With `FIGURE9_BUDGET_SECONDS` set, the process exits non-zero when the
-//! end-to-end wall-clock exceeds the budget — the CI perf smoke job uses
-//! this as its regression gate.
+//! Bare integer arguments select the sizes to sweep (default: the historical
+//! 100..2000 population plus the large region-decomposed 10k/30k/100k
+//! points). `--budget <seconds>` stops *starting* new points once the
+//! elapsed wall-clock crosses the budget — the first point always runs, and
+//! every point that did run is still reported and written to the JSON.
+//!
+//! With `FIGURE9_BUDGET_SECONDS` set, the process additionally exits
+//! non-zero when the end-to-end wall-clock exceeds that budget — the CI perf
+//! smoke job uses this as its regression gate.
 
-use hls::explore::experiments::{figure9_default_sizes, figure9_sweep};
+use hls::explore::experiments::{
+    figure9_default_sizes, figure9_large_sizes, figure9_sweep_with_budget,
+};
+use std::time::Duration;
 
 fn main() {
-    let args: Vec<usize> = std::env::args()
-        .skip(1)
-        .map(|a| a.parse().expect("sizes must be integers"))
-        .collect();
-    let sizes = if args.is_empty() {
-        figure9_default_sizes()
-    } else {
-        args
-    };
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut budget: Option<Duration> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--budget" {
+            let secs: f64 = args
+                .next()
+                .expect("--budget requires a value")
+                .parse()
+                .expect("--budget value must be a number of seconds");
+            budget = Some(Duration::from_secs_f64(secs));
+        } else {
+            sizes.push(arg.parse().expect("sizes must be integers"));
+        }
+    }
+    if sizes.is_empty() {
+        sizes = figure9_default_sizes();
+        sizes.extend(figure9_large_sizes());
+    }
 
-    let sweep = figure9_sweep(&sizes);
+    let sweep = figure9_sweep_with_budget(&sizes, budget);
     print!("{}", sweep.table());
 
     let json_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_sched.json");

@@ -10,12 +10,13 @@
 //! designs additionally run through `Synthesizer::verify`, executing the
 //! schedule cycle-accurately against the reference interpreter.
 
-use hls::explore::{idct8_design, synthetic_design, DesignClass};
+use hls::explore::{idct8_design, synthetic_design, verify_schedule, DesignClass, VerifyOptions};
 use hls::frontend::ast::{Behavior, BinOp, Expr};
 use hls::frontend::BehaviorBuilder;
-use hls::ir::{CmpKind, LinearBody};
+use hls::ir::analysis::sccs;
+use hls::ir::{CmpKind, Dfg, LinearBody, OpKind, PortDirection, Signal};
 use hls::opt::linearize::prepare_innermost_loop;
-use hls::sched::{SchedError, Schedule, Scheduler, SchedulerConfig};
+use hls::sched::{RegionPlan, SchedError, Schedule, Scheduler, SchedulerConfig};
 use hls::tech::{ClockConstraint, TechLibrary};
 use hls::{designs, Synthesizer};
 use rand::rngs::SmallRng;
@@ -279,4 +280,221 @@ fn fifty_random_programs_are_equivalent_and_verify() {
         verified >= 35,
         "most random programs must verify, got {verified}/50"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Region decomposition
+// ---------------------------------------------------------------------------
+
+/// [`check`] plus cycle-accurate differential execution of the (possibly
+/// region-decomposed) incremental schedule against the reference interpreter
+/// on 100 random vectors.
+fn check_and_verify(
+    label: &str,
+    body: &LinearBody,
+    lib: &TechLibrary,
+    config: SchedulerConfig,
+) -> bool {
+    let scheduled = check(label, body, lib, config.clone());
+    if scheduled {
+        let schedule = Scheduler::new(body, lib, config).run().expect("re-run");
+        let report = verify_schedule(body, &schedule.desc, &VerifyOptions::vectors(100))
+            .unwrap_or_else(|e| panic!("{label}: differential verification failed: {e}"));
+        assert_eq!(report.iterations, 100, "{label}");
+    }
+    scheduled
+}
+
+/// Feed-forward chain: read → n dependent adds → write. No SCCs, so a unit
+/// region target puts every operation in its own region.
+fn chain_design(n: usize) -> LinearBody {
+    let mut dfg = Dfg::new();
+    let w: u16 = 16;
+    let p_in = dfg.add_port("in0", PortDirection::Input, w);
+    let p_out = dfg.add_port("out", PortDirection::Output, w);
+    let mut cur = Signal::op_w(dfg.add_op(OpKind::Read(p_in), w, vec![]), w);
+    for i in 0..n {
+        let op = dfg.add_op(OpKind::Add, w, vec![cur, Signal::constant(i as i64 + 1, w)]);
+        cur = Signal::op_w(op, w);
+    }
+    dfg.add_op(OpKind::Write(p_out), w, vec![cur]);
+    let mut body = LinearBody::from_dfg("chain", dfg);
+    body.source_states = 1;
+    body
+}
+
+/// A design whose operations almost all sit inside one recurrence: a chain
+/// of adds whose first link consumes the loop-carried value of the last.
+fn giant_scc_design(chain: usize) -> LinearBody {
+    let mut dfg = Dfg::new();
+    let w: u16 = 16;
+    let p_in = dfg.add_port("in0", PortDirection::Input, w);
+    let p_out = dfg.add_port("out", PortDirection::Output, w);
+    let read = dfg.add_op(OpKind::Read(p_in), w, vec![]);
+    let first = dfg.add_op(
+        OpKind::Add,
+        w,
+        vec![Signal::op_w(read, w), Signal::constant(0, w)],
+    );
+    let mut prev = first;
+    for _ in 0..chain {
+        prev = dfg.add_op(
+            OpKind::Add,
+            w,
+            vec![Signal::op_w(prev, w), Signal::constant(1, w)],
+        );
+    }
+    dfg.op_mut(first).inputs[1] = Signal::carried(prev, w, 1);
+    dfg.add_op(OpKind::Write(p_out), w, vec![Signal::op_w(prev, w)]);
+    let mut body = LinearBody::from_dfg("giant_scc", dfg);
+    body.source_states = 1;
+    body
+}
+
+#[test]
+fn region_decomposition_is_bit_identical_across_targets() {
+    let lib = TechLibrary::artisan_90nm_typical();
+    let mut cdfg = designs::paper_example1_cdfg().expect("elab");
+    let example1 = prepare_innermost_loop(&mut cdfg).expect("prepare");
+    let idct = idct8_design();
+    let mut scheduled = 0;
+    for &target in &[1usize, 4, 40] {
+        for (cname, config) in configs_for(1600.0, 6) {
+            if check(
+                &format!("example1/regions{target}/{cname}"),
+                &example1,
+                &lib,
+                config.with_region_decomposition(target),
+            ) {
+                scheduled += 1;
+            }
+        }
+        for (cname, config) in configs_for(2000.0, 16) {
+            if check(
+                &format!("idct8/regions{target}/{cname}"),
+                &idct,
+                &lib,
+                config.with_region_decomposition(target),
+            ) {
+                scheduled += 1;
+            }
+        }
+    }
+    // synthetic designs of every class through a mid-size region target
+    for (i, class) in DesignClass::all().into_iter().enumerate() {
+        let body = synthetic_design(class, 260, 7 + i as u64);
+        let clock = ClockConstraint::from_period_ps(1900.0);
+        let mut seq = SchedulerConfig::sequential(clock, 1, 24).with_region_decomposition(40);
+        seq.max_passes = 128;
+        let mut pipe = SchedulerConfig::pipelined(clock, 2, 24).with_region_decomposition(40);
+        pipe.max_passes = 128;
+        if check(&format!("{class:?}/260/regions/seq"), &body, &lib, seq) {
+            scheduled += 1;
+        }
+        if check(&format!("{class:?}/260/regions/pipe"), &body, &lib, pipe) {
+            scheduled += 1;
+        }
+    }
+    assert!(
+        scheduled >= 12,
+        "most region-decomposed configs must schedule, got {scheduled}"
+    );
+}
+
+#[test]
+fn giant_scc_falls_back_to_a_single_region_with_no_overhead() {
+    let body = giant_scc_design(24);
+    let components = sccs(&body.dfg);
+    // the recurrence chain is one SCC spanning nearly every op
+    assert_eq!(components.len(), 1);
+    assert!(components[0].len() >= 25, "{}", components[0].len());
+    // a small target cannot split it: the SCC stays atomic in its region
+    let plan = RegionPlan::build(&body, &components, 4);
+    let scc_regions: std::collections::BTreeSet<u32> = components[0]
+        .ops
+        .iter()
+        .map(|id| plan.region_of[id.index()])
+        .collect();
+    assert_eq!(scc_regions.len(), 1, "an SCC must never straddle regions");
+    // an over-large target degenerates to the trivial single-region plan...
+    assert!(RegionPlan::build(&body, &components, 1_000_000).is_trivial());
+    let lib = TechLibrary::artisan_90nm_typical();
+    let clock = ClockConstraint::from_period_ps(1900.0);
+    let plain = SchedulerConfig::sequential(clock, 1, 48);
+    let fallback = plain.clone().with_region_decomposition(1_000_000);
+    // ...and that fallback is bit-identical to a run with no region config
+    let a = Scheduler::new(&body, &lib, plain).run().expect("plain");
+    let b = Scheduler::new(&body, &lib, fallback)
+        .run()
+        .expect("fallback");
+    assert_equal_schedules("giant-scc/fallback", &a, &b);
+    // the small-target run still matches its own reference driver and
+    // executes bit-exactly
+    let tight = SchedulerConfig::sequential(clock, 1, 48).with_region_decomposition(4);
+    assert!(check_and_verify("giant-scc/regions4", &body, &lib, tight));
+}
+
+#[test]
+fn pure_chain_with_unit_target_makes_every_op_a_region() {
+    let body = chain_design(12);
+    let components = sccs(&body.dfg);
+    assert!(components.is_empty(), "a feed-forward chain has no SCCs");
+    let plan = RegionPlan::build(&body, &components, 1);
+    assert_eq!(
+        plan.regions.len(),
+        body.dfg.num_ops(),
+        "target 1: every op is its own region"
+    );
+    let lib = TechLibrary::artisan_90nm_typical();
+    for (cname, config) in configs_for(1900.0, 24) {
+        assert!(check_and_verify(
+            &format!("chain/regions1/{cname}"),
+            &body,
+            &lib,
+            config.with_region_decomposition(1),
+        ));
+    }
+}
+
+#[test]
+fn cross_region_interface_value_feeding_a_predicated_op() {
+    let mut b = BehaviorBuilder::new("pred_regions");
+    b.port_in("p0", 16);
+    b.port_out("out", 16);
+    let v = b.var("v", 16, 1);
+    let t = b.var("t", 16, 5);
+    let seed_expr = Expr::add(b.read_port("p0"), Expr::Const(2));
+    let cond = Expr::cmp(CmpKind::Gt, Expr::Var(v), Expr::Const(3));
+    let then_e = Expr::mul(Expr::Var(t), Expr::Const(3));
+    let else_e = Expr::add(Expr::Var(t), Expr::Const(1));
+    let stmts = vec![
+        b.assign(t, seed_expr),
+        b.if_then_else(cond, vec![b.assign(v, then_e)], vec![b.assign(v, else_e)]),
+        b.write_port("out", Expr::Var(v)),
+        b.wait(),
+    ];
+    let l = b.do_while(
+        "main",
+        stmts,
+        Expr::cmp(CmpKind::Ne, b.read_port("p0"), Expr::Const(0)),
+    );
+    b.infinite_loop(vec![l]);
+    let behavior = b.build();
+    let mut cdfg = hls::frontend::elaborate(&behavior).expect("elab");
+    let body = prepare_innermost_loop(&mut cdfg).expect("prepare");
+    let lib = TechLibrary::artisan_90nm_typical();
+    let clock = ClockConstraint::from_period_ps(2600.0);
+    // unit target: the value `t` is produced in one region and consumed by
+    // the predicated select (and its condition) in others
+    let config = SchedulerConfig::sequential(clock, 1, 24).with_region_decomposition(1);
+    assert!(check_and_verify("predicated/regions1", &body, &lib, config));
+    // and end-to-end through the synthesizer's differential harness
+    let result = Synthesizer::new(behavior)
+        .clock_ps(2600.0)
+        .latency_bounds(1, 24)
+        .verify(100)
+        .run()
+        .expect("verified synthesis");
+    let report = result.verification.expect("verification ran");
+    assert_eq!(report.iterations, 100);
 }
